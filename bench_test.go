@@ -1,0 +1,309 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper (each delegating to the internal/bench runner at
+// a reduced scale), plus micro-benchmarks for the hot paths underneath
+// them. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale experiment output comes from cmd/alayabench; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attention"
+	"repro/internal/baselines"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/index/coarse"
+	"repro/internal/index/flat"
+	"repro/internal/index/graph"
+	"repro/internal/index/knn"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/storage/buffer"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// benchScale keeps per-iteration experiment runs tractable under -bench.
+func benchScale() bench.Scale {
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	return bench.Scale{ContextLen: 1024, Trials: 1, Workers: 2, Seed: 5, Model: cfg}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(name, benchScale(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper artefact (Experiments E1..E11, DESIGN.md §3) ---
+
+func BenchmarkFig5HeadVariance(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkTable3TaskK(b *testing.B)        { runExperiment(b, "table3") }
+func BenchmarkFig6AccuracyTokens(b *testing.B) { runExperiment(b, "fig6") }
+func BenchmarkTable5Quality(b *testing.B)      { runExperiment(b, "table5") }
+func BenchmarkFig9MemoryQuality(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFig10TTFT(b *testing.B)          { runExperiment(b, "fig10") }
+func BenchmarkFig11IndexBuild(b *testing.B)    { runExperiment(b, "fig11") }
+func BenchmarkFig12FilteredDIPRS(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkTable4IndexTypes(b *testing.B)   { runExperiment(b, "table4") }
+func BenchmarkWindowCacheHitRate(b *testing.B) { runExperiment(b, "window") }
+
+// --- Micro-benchmarks of the hot paths ---
+
+func randomVec(rng *rand.Rand, d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+func randomMatrix(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = rng.Float32()*2 - 1
+		}
+	}
+	return m
+}
+
+func BenchmarkVecDot128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randomVec(rng, 128), randomVec(rng, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.Dot(x, y)
+	}
+}
+
+func BenchmarkSoftmax4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	logits := randomVec(rng, 4096)
+	out := make([]float32, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.Softmax(logits, out)
+	}
+}
+
+func BenchmarkFullAttention4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	K := randomMatrix(rng, 4096, 128)
+	V := randomMatrix(rng, 4096, 128)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.Full(q, K, V)
+	}
+}
+
+func BenchmarkOnlineAttention4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	K := randomMatrix(rng, 4096, 128)
+	V := randomMatrix(rng, 4096, 128)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.FullOnline(q, K, V)
+	}
+}
+
+func BenchmarkSparseAttention64of4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	K := randomMatrix(rng, 4096, 128)
+	V := randomMatrix(rng, 4096, 128)
+	q := randomVec(rng, 128)
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = rng.Intn(4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.Sparse(q, K, V, idx)
+	}
+}
+
+func BenchmarkFlatTopK100(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	keys := randomMatrix(rng, 8192, 128)
+	fx := flat.New(keys, 2)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx.TopK(q, 100)
+	}
+}
+
+func BenchmarkFlatDIPR(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	keys := randomMatrix(rng, 8192, 128)
+	fx := flat.New(keys, 2)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx.DIPR(q, 2)
+	}
+}
+
+func BenchmarkCoarseSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	keys := randomMatrix(rng, 8192, 128)
+	cx := coarse.New(keys, 64, coarse.Bound)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx.SelectTokens(q, 512)
+	}
+}
+
+func buildBenchGraph(rng *rand.Rand, n int) (*graph.Graph, *vec.Matrix) {
+	keys := randomMatrix(rng, n, 128)
+	queries := randomMatrix(rng, n/4, 128)
+	g := graph.Build(keys, queries, graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: 2})
+	return g, keys
+}
+
+func BenchmarkGraphTopK100(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g, _ := buildBenchGraph(rng, 8192)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.TopK(q, 100)
+	}
+}
+
+func BenchmarkDIPRSSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	g, _ := buildBenchGraph(rng, 8192)
+	q := randomVec(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query.DIPRS(g, q, query.DIPRSConfig{Beta: 2})
+	}
+}
+
+func BenchmarkGraphBuildBipartite2048(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	keys := randomMatrix(rng, 2048, 128)
+	queries := randomMatrix(rng, 512, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Build(keys, queries, graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: 2})
+	}
+}
+
+func BenchmarkExactKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	keys := randomMatrix(rng, 2048, 128)
+	queries := randomMatrix(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knn.Exact(queries, keys, 16, 2)
+	}
+}
+
+func BenchmarkNNDescent(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	keys := randomMatrix(rng, 1024, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knn.NNDescent(keys, knn.NNDescentConfig{K: 10, Seed: uint64(i), Workers: 2})
+	}
+}
+
+func BenchmarkBufferGetHit(b *testing.B) {
+	payload := make([]byte, 4096)
+	m := buffer.New(1<<20, func(buffer.Key) ([]byte, error) { return payload, nil })
+	k := buffer.Key{File: "f", Block: 1}
+	if _, err := m.Get(k, buffer.Index); err != nil {
+		b.Fatal(err)
+	}
+	m.Release(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(k, buffer.Index)
+		m.Release(k)
+	}
+}
+
+func BenchmarkSessionAttentionDIPR(b *testing.B) {
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	db, err := core.New(core.Config{
+		Model:         m,
+		LongThreshold: 512,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: 2},
+		Workers:       2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 3, 4096, 64, 32)
+	if _, err := db.ImportDoc(inst.Doc); err != nil {
+		b.Fatal(err)
+	}
+	sess, _ := db.CreateSession(inst.Doc)
+	defer sess.Close()
+	q := m.QueryVector(inst.Doc, 1, 0, model.QuerySpec{FocusTopics: inst.Question, ContextLen: 4096})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Attention(1, 0, q)
+	}
+}
+
+func BenchmarkLMCacheStoreLoad(b *testing.B) {
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	doc := model.NewFiller(21, 1024, 64, 32)
+	lm := &baselines.LMCache{Model: m}
+	lm.Store(doc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.TTFT(doc, 1)
+	}
+}
+
+func BenchmarkMinHeapTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	scores := make([]float32, 8192)
+	for i := range scores {
+		scores[i] = rng.Float32()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := make(index.MinHeap, 0, 100)
+		for j, s := range scores {
+			h.PushBounded(index.Candidate{ID: int32(j), Score: s}, 100)
+		}
+	}
+}

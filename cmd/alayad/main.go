@@ -1,0 +1,60 @@
+// Command alayad runs AlayaDB as a standalone attention service: inference
+// engines connect over HTTP, create sessions against stored contexts, ship
+// generated tokens in and get attention outputs back — the decoupled
+// deployment of Figure 2(d).
+//
+//	alayad -addr :8265 -layers 4 -device-gb 0.2
+//
+// See internal/serve for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8265", "listen address")
+		layers   = flag.Int("layers", 4, "model layers")
+		qheads   = flag.Int("qheads", 8, "query heads per layer")
+		kvheads  = flag.Int("kvheads", 2, "kv heads per layer")
+		deviceGB = flag.Float64("device-gb", 0, "device memory capacity in GB (0 = unlimited)")
+		budgetGB = flag.Float64("context-budget-gb", 0, "stored-context byte budget in GB (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cfg := model.Default()
+	cfg.Layers = *layers
+	cfg.QHeads = *qheads
+	cfg.KVHeads = *kvheads
+	m := model.New(cfg)
+
+	var dev *devmem.Device
+	if *deviceGB > 0 {
+		dev = devmem.New(int64(*deviceGB * 1e9))
+	}
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        dev,
+		Window:        attention.Window{Sinks: 32, Recent: 64},
+		ContextBudget: int64(*budgetGB * 1e9),
+	})
+	if err != nil {
+		log.Fatalf("alayad: %v", err)
+	}
+	defer db.Close()
+
+	srv := serve.NewServer(db)
+	defer srv.Close()
+	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d)",
+		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,109 @@
+// Legal assistant (§8 use case): the first client pays the one-time
+// prefill over a law corpus; storing that session materializes a reusable
+// indexed context (§7.2 late materialization). A second client whose
+// prompt shares only the corpus prefix then reuses it partially, which
+// routes retrieval through filtered DIPRS (§7.1).
+//
+//	go run ./examples/legalqa
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := model.Default()
+	cfg.Layers = 4
+	m := model.New(cfg)
+
+	// A device sized for weights and windows but not for caching KV blocks
+	// on device — the optimizer will pick the DIPR paths.
+	dev := devmem.New(m.WeightsBytes() + 8<<20)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        dev,
+		Window:        attention.Window{Sinks: 32, Recent: 64},
+		LongThreshold: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The "law corpus": a 6K-token document with statute passages
+	// (an En.QA-like critical profile: dispersed, moderately salient).
+	statutes, _ := workload.ProfileByName("En.QA")
+	corpus := workload.Generate(statutes, 7, 6144, 64, cfg.Vocab)
+	fmt.Printf("law corpus: %d tokens, answer passages at %d positions\n",
+		corpus.Doc.Len(), len(corpus.Critical))
+
+	// Client A: nothing stored yet — the session pays the one-time prefill.
+	sessA, reused := db.CreateSession(corpus.Doc)
+	fmt.Printf("\nclient A: reuses %d tokens (cold start)\n", reused)
+	start := time.Now()
+	sessA.PrefillRemaining()
+	fmt.Printf("client A prefilled %d tokens in %v\n", sessA.Doc().Len(), time.Since(start).Round(time.Millisecond))
+
+	answer, elapsed := ask(m, sessA, corpus.Question)
+	fmt.Printf("client A answer: payload %d (want %d) in %v; plans: %v\n",
+		answer, corpus.Answer, elapsed, sessA.Stats().Plans)
+
+	// A's follow-up turns are appended to the session tail — they are NOT
+	// indexed yet (late materialization: they live in the window).
+	for i := 0; i < 16; i++ {
+		sessA.AppendToken(model.Token{Topic: 5000 + i, Payload: i % cfg.Vocab})
+	}
+
+	// Storing the session materializes corpus + conversation into an
+	// indexed, reusable context. This is where index building happens.
+	start = time.Now()
+	stored, err := db.Store(sessA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessA.Close()
+	fmt.Printf("\nstored client A's session: %d tokens, indexed in %v (%.2f MB of graph index)\n",
+		stored.Len(), time.Since(start).Round(time.Millisecond), float64(stored.IndexBytes())/1e6)
+
+	// Client B: same corpus, different question — shares only the corpus
+	// prefix with the stored conversation, so reuse is partial and
+	// retrieval must filter to the reused region (§7.1).
+	bDoc := &model.Document{Seed: corpus.Doc.Seed, Tokens: append([]model.Token(nil), corpus.Doc.Tokens...)}
+	bDoc.Append(model.Token{Topic: 9000, Payload: 1})
+	sessB, reusedB := db.CreateSession(bDoc)
+	defer sessB.Close()
+	sessB.PrefillRemaining()
+	fmt.Printf("\nclient B: reuses %d of %d stored tokens (partial reuse: %v)\n",
+		reusedB, stored.Len(), sessB.PartialReuse())
+
+	answerB, elapsedB := ask(m, sessB, corpus.Question)
+	fmt.Printf("client B answer: payload %d (want %d) in %v; plans: %v\n",
+		answerB, corpus.Answer, elapsedB, sessB.Stats().Plans)
+
+	snap := dev.Snapshot()
+	fmt.Printf("\ndevice memory: %.3f GB used of %.3f GB\n", devmem.GB(snap.Used), devmem.GB(snap.Capacity))
+	for _, c := range snap.ByCat {
+		fmt.Printf("  %-12s %.3f GB\n", c.Category, devmem.GB(c.Bytes))
+	}
+}
+
+// ask runs one decode step over the retrieval heads and decodes the answer.
+func ask(m *model.Model, sess *core.Session, question []int) (int, time.Duration) {
+	start := time.Now()
+	var outputs []model.HeadOutput
+	for _, hr := range m.RetrievalHeads() {
+		q := m.QueryVector(sess.Doc(), hr.Layer, hr.QHead, model.QuerySpec{
+			FocusTopics: question, ContextLen: sess.Doc().Len()})
+		res := sess.Attention(hr.Layer, hr.QHead, q)
+		outputs = append(outputs, model.HeadOutput{Layer: hr.Layer, QHead: hr.QHead, Output: res.Output})
+	}
+	return m.DecodeAnswer(outputs), time.Since(start).Round(time.Microsecond)
+}

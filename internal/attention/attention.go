@@ -1,0 +1,245 @@
+// Package attention implements the attention computation engines of
+// AlayaDB (§7.2): exact full attention, a one-pass online-softmax variant
+// (the FlashAttention recurrence), partial attention over arbitrary index
+// subsets with log-sum-exp bookkeeping, and the LSE-weighted merge that the
+// paper's data-centric engine uses to combine partial results computed
+// where the data resides (window on device, retrieved tokens on host).
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Weights returns the full softmax attention distribution of q over every
+// row of K: a_i = softmax(q·k_i/√d). The returned slice has K.Rows()
+// entries.
+func Weights(q []float32, K *vec.Matrix) []float32 {
+	n := K.Rows()
+	logits := make([]float32, n)
+	for i := 0; i < n; i++ {
+		logits[i] = vec.ScaledDot(q, K.Row(i))
+	}
+	vec.Softmax(logits, logits)
+	return logits
+}
+
+// Full computes exact attention output o = Σ softmax(q·K/√d)_i · v_i using
+// the two-pass formulation. K and V must have equal row counts.
+func Full(q []float32, K, V *vec.Matrix) []float32 {
+	checkKV(K, V)
+	w := Weights(q, K)
+	out := make([]float32, V.Cols())
+	for i, a := range w {
+		if a != 0 {
+			vec.Axpy(a, V.Row(i), out)
+		}
+	}
+	return out
+}
+
+// FullOnline computes the same output as Full in a single pass using the
+// online-softmax recurrence (running max, running denominator, rescaled
+// accumulator) — the core loop of FlashAttention [32]. It exists both as
+// the streaming engine and as a cross-check for the two-pass form.
+func FullOnline(q []float32, K, V *vec.Matrix) []float32 {
+	checkKV(K, V)
+	n := K.Rows()
+	out := make([]float32, V.Cols())
+	if n == 0 {
+		return out
+	}
+	runMax := float32(math.Inf(-1))
+	var runSum float64
+	for i := 0; i < n; i++ {
+		z := vec.ScaledDot(q, K.Row(i))
+		if z > runMax {
+			scale := float32(math.Exp(float64(runMax - z)))
+			if runSum != 0 {
+				vec.Scale(scale, out)
+			}
+			runSum *= float64(scale)
+			runMax = z
+		}
+		e := float32(math.Exp(float64(z - runMax)))
+		runSum += float64(e)
+		vec.Axpy(e, V.Row(i), out)
+	}
+	vec.Scale(float32(1/runSum), out)
+	return out
+}
+
+// Partial is attention computed over a subset of the context: the
+// softmax-weighted value mix *within the subset* plus the subset's
+// log-sum-exp, which is exactly the state needed to merge partials into
+// the attention output over the union of subsets.
+type Partial struct {
+	Output []float32
+	LSE    float64
+	// Count is the number of tokens the partial covers (bookkeeping for
+	// metrics; Merge ignores it).
+	Count int
+}
+
+// Over computes partial attention of q over the rows of K/V listed in idx.
+// Indices may be in any order but must be in range; duplicates would be
+// double-counted, so callers must pass disjoint sets to a subsequent Merge.
+func Over(q []float32, K, V *vec.Matrix, idx []int) Partial {
+	checkKV(K, V)
+	if len(idx) == 0 {
+		return Partial{Output: make([]float32, V.Cols()), LSE: math.Inf(-1)}
+	}
+	logits := make([]float32, len(idx))
+	for j, i := range idx {
+		logits[j] = vec.ScaledDot(q, K.Row(i))
+	}
+	w := make([]float32, len(idx))
+	lse := vec.Softmax(logits, w)
+	out := make([]float32, V.Cols())
+	for j, i := range idx {
+		vec.Axpy(w[j], V.Row(i), out)
+	}
+	return Partial{Output: out, LSE: lse, Count: len(idx)}
+}
+
+// OverRange computes partial attention over the contiguous rows [lo, hi).
+func OverRange(q []float32, K, V *vec.Matrix, lo, hi int) Partial {
+	checkKV(K, V)
+	if lo < 0 || hi < lo || hi > K.Rows() {
+		panic(fmt.Sprintf("attention: range [%d,%d) out of %d rows", lo, hi, K.Rows()))
+	}
+	n := hi - lo
+	if n == 0 {
+		return Partial{Output: make([]float32, V.Cols()), LSE: math.Inf(-1)}
+	}
+	logits := make([]float32, n)
+	for i := 0; i < n; i++ {
+		logits[i] = vec.ScaledDot(q, K.Row(lo+i))
+	}
+	w := make([]float32, n)
+	lse := vec.Softmax(logits, w)
+	out := make([]float32, V.Cols())
+	for i := 0; i < n; i++ {
+		vec.Axpy(w[i], V.Row(lo+i), out)
+	}
+	return Partial{Output: out, LSE: lse, Count: n}
+}
+
+// Merge combines partial attention results over disjoint subsets into the
+// attention output over their union, weighting each partial by
+// exp(LSE_i − max LSE) — the same aggregation FlashAttention and
+// RetrievalAttention use (§7.2). Empty partials (LSE = −Inf) contribute
+// nothing.
+func Merge(parts ...Partial) []float32 {
+	if len(parts) == 0 {
+		panic("attention: merge of no partials")
+	}
+	maxLSE := math.Inf(-1)
+	for _, p := range parts {
+		if p.LSE > maxLSE {
+			maxLSE = p.LSE
+		}
+	}
+	dim := len(parts[0].Output)
+	out := make([]float32, dim)
+	if math.IsInf(maxLSE, -1) {
+		return out
+	}
+	var denom float64
+	for _, p := range parts {
+		if math.IsInf(p.LSE, -1) {
+			continue
+		}
+		denom += math.Exp(p.LSE - maxLSE)
+	}
+	for _, p := range parts {
+		if math.IsInf(p.LSE, -1) {
+			continue
+		}
+		w := float32(math.Exp(p.LSE-maxLSE) / denom)
+		vec.Axpy(w, p.Output, out)
+	}
+	return out
+}
+
+// Sparse computes attention restricted to the tokens in idx, normalized as
+// if those were the whole context — the sparse-attention approximation of
+// Equation (1).
+func Sparse(q []float32, K, V *vec.Matrix, idx []int) []float32 {
+	p := Over(q, K, V, idx)
+	if math.IsInf(p.LSE, -1) {
+		return p.Output
+	}
+	return p.Output
+}
+
+// Recovery returns the recovery ratio of the index set under the full
+// attention distribution w: the fraction of total attention mass carried by
+// the selected tokens (the paper's quality metric from [45], used in Fig 5).
+func Recovery(w []float32, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += float64(w[i])
+	}
+	return s
+}
+
+// TokensForRecovery returns the minimum number of tokens needed to reach
+// the target recovery ratio, choosing tokens greedily by weight. It is the
+// quantity plotted on Figure 5's red curve.
+func TokensForRecovery(w []float32, target float64) int {
+	if len(w) == 0 || target <= 0 {
+		return 0
+	}
+	s := append([]float32(nil), w...)
+	sortDescending(s)
+	var acc float64
+	for i, v := range s {
+		acc += float64(v)
+		if acc >= target {
+			return i + 1
+		}
+	}
+	return len(w)
+}
+
+func sortDescending(s []float32) {
+	// Heapsort keeps this dependency-free and O(n log n) without recursion.
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(s, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftDown(s, 0, i)
+	}
+	// Heapsort yields ascending order; reverse for descending.
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func siftDown(s []float32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && s[child+1] > s[child] {
+			child++
+		}
+		if s[root] >= s[child] {
+			return
+		}
+		s[root], s[child] = s[child], s[root]
+		root = child
+	}
+}
+
+func checkKV(K, V *vec.Matrix) {
+	if K.Rows() != V.Rows() {
+		panic(fmt.Sprintf("attention: K has %d rows, V has %d", K.Rows(), V.Rows()))
+	}
+}

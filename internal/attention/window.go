@@ -1,0 +1,60 @@
+package attention
+
+// Window describes the sink+recent token window that sparse-attention
+// methods keep resident on the device (§7.1). Sinks is the number of
+// initial tokens, Recent the number of trailing tokens.
+type Window struct {
+	Sinks  int
+	Recent int
+}
+
+// Indices returns the positions covered by the window in a context of n
+// tokens, in ascending order. If the window covers the whole context the
+// result is simply 0..n-1.
+func (w Window) Indices(n int) []int {
+	if w.Sinks+w.Recent >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, w.Sinks+w.Recent)
+	for i := 0; i < w.Sinks; i++ {
+		out = append(out, i)
+	}
+	for i := n - w.Recent; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Contains reports whether position i falls inside the window of a context
+// of n tokens.
+func (w Window) Contains(i, n int) bool {
+	if w.Sinks+w.Recent >= n {
+		return i >= 0 && i < n
+	}
+	return (i >= 0 && i < w.Sinks) || (i >= n-w.Recent && i < n)
+}
+
+// Size returns the number of tokens the window covers in a context of n.
+func (w Window) Size(n int) int {
+	if w.Sinks+w.Recent >= n {
+		return n
+	}
+	return w.Sinks + w.Recent
+}
+
+// Outside filters idx down to the positions not covered by the window,
+// preserving order. It is used to make retrieved sets disjoint from the
+// window before a Merge.
+func (w Window) Outside(idx []int, n int) []int {
+	out := idx[:0:0]
+	for _, i := range idx {
+		if !w.Contains(i, n) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package baselines
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/devmem"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/vec"
+)
+
+// LMCache models the KV-cache-disaggregation baseline of Figure 10
+// (LMCache [15] / CacheGen [46]): the full context's KV cache is stored
+// quantized on the host; serving a request loads it — dequantization (real
+// CPU work) plus a host→device transfer (simulated through the devmem
+// bandwidth model) — before the engine can decode with full attention.
+// Its TTFT is therefore dominated by a load term linear in context length,
+// the cost structure the paper's Figure 10(b) breakdown shows.
+type LMCache struct {
+	Model  *model.Model
+	Device *devmem.Device
+
+	stored   []quantizedHead // layer*kvHeads + head, keys then values
+	layers   int
+	kvHeads  int
+	headDim  int
+	tokens   int
+	rawBytes int64
+}
+
+type quantizedHead struct {
+	keys quantized
+	vals quantized
+}
+
+// quantized is a per-vector symmetric int8 quantization of a matrix: the
+// storage format KV-cache stores ship across hosts (CacheGen quantizes;
+// we reproduce the quantize/dequantize work and the reduced volume).
+type quantized struct {
+	dim    int
+	scales []float32
+	data   []int8
+}
+
+func quantize(m *vec.Matrix) quantized {
+	rows, dim := m.Rows(), m.Cols()
+	q := quantized{dim: dim, scales: make([]float32, rows), data: make([]int8, rows*dim)}
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		maxAbs := float32(0)
+		for _, v := range row {
+			if a := float32(math.Abs(float64(v))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		q.scales[i] = scale
+		for j, v := range row {
+			q.data[i*dim+j] = int8(v / scale)
+		}
+	}
+	return q
+}
+
+func (q quantized) dequantize() *vec.Matrix {
+	rows := len(q.scales)
+	out := vec.NewMatrix(rows, q.dim)
+	for i := 0; i < rows; i++ {
+		row := out.Row(i)
+		s := q.scales[i]
+		for j := 0; j < q.dim; j++ {
+			row[j] = float32(q.data[i*q.dim+j]) * s
+		}
+	}
+	return out
+}
+
+// bytes is the stored (and transferred) volume.
+func (q quantized) bytes() int64 {
+	return int64(len(q.data)) + int64(len(q.scales))*4
+}
+
+// Store quantizes and retains the KV cache of doc, as the disaggregated
+// cache service would after the context's first prefill.
+func (l *LMCache) Store(doc *model.Document) {
+	m := l.Model
+	mc := m.Config()
+	cache := m.BuildKV(doc)
+	l.layers, l.kvHeads, l.headDim = mc.Layers, mc.KVHeads, mc.HeadDim
+	l.tokens = doc.Len()
+	l.rawBytes = cache.Bytes()
+	l.stored = make([]quantizedHead, mc.Layers*mc.KVHeads)
+	for lay := 0; lay < mc.Layers; lay++ {
+		for h := 0; h < mc.KVHeads; h++ {
+			l.stored[lay*mc.KVHeads+h] = quantizedHead{
+				keys: quantize(cache.Keys(lay, h)),
+				vals: quantize(cache.Values(lay, h)),
+			}
+		}
+	}
+}
+
+// StoredBytes returns the quantized cache volume (what must be
+// transferred to the device on reuse).
+func (l *LMCache) StoredBytes() int64 {
+	var n int64
+	for _, qh := range l.stored {
+		n += qh.keys.bytes() + qh.vals.bytes()
+	}
+	return n
+}
+
+// TTFTBreakdown separates the load term from the decode term.
+type TTFTBreakdown struct {
+	Load   time.Duration // dequantize (measured) + transfer (simulated)
+	Decode time.Duration // first-token full attention (measured)
+	Total  time.Duration
+}
+
+// TTFT serves one request against the stored context and returns the time
+// to first token with its breakdown. The query is a decode step focused on
+// the given topic.
+func (l *LMCache) TTFT(doc *model.Document, focusTopic int) TTFTBreakdown {
+	if l.stored == nil {
+		panic("baselines: LMCache.TTFT before Store")
+	}
+	m := l.Model
+	mc := m.Config()
+
+	// Load: dequantize everything (real work), then ship raw KV to device
+	// (simulated transfer of the dequantized volume).
+	start := time.Now()
+	cache := kvcache.New(l.layers, l.kvHeads, l.headDim)
+	for lay := 0; lay < l.layers; lay++ {
+		for h := 0; h < l.kvHeads; h++ {
+			qh := l.stored[lay*l.kvHeads+h]
+			keys := qh.keys.dequantize()
+			vals := qh.vals.dequantize()
+			for i := 0; i < keys.Rows(); i++ {
+				cache.Append(lay, h, keys.Row(i), vals.Row(i))
+			}
+		}
+	}
+	load := time.Since(start)
+	if l.Device != nil {
+		load += l.Device.TransferTime(l.StoredBytes())
+	}
+
+	// Decode: one full-attention step across all layers and query heads.
+	start = time.Now()
+	n := cache.SeqLen(0)
+	for lay := 0; lay < mc.Layers; lay++ {
+		for qh := 0; qh < mc.QHeads; qh++ {
+			q := m.QueryVector(doc, lay, qh, model.QuerySpec{FocusTopics: []int{focusTopic}, ContextLen: n})
+			kv := m.KVGroup(qh)
+			_ = attention.FullOnline(q, cache.Keys(lay, kv), cache.Values(lay, kv))
+		}
+	}
+	decode := time.Since(start)
+
+	return TTFTBreakdown{Load: load, Decode: decode, Total: load + decode}
+}

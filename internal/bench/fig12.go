@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/index/flat"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig12", "filter-based DIPRS recall & latency vs reuse ratio (Figure 12)", runFig12)
+}
+
+// runFig12 reproduces Figure 12's micro-benchmark: a fixed prefix of a
+// stored context is reused while the stored context (and thus the index
+// the search runs over) grows, shrinking the reuse ratio from 100% to 20%.
+// Filter-based DIPRS must keep recall high and latency nearly flat as the
+// index outgrows the filtered region.
+func runFig12(s Scale, w io.Writer) error {
+	m := model.New(s.Model)
+	layer := 1
+	prefix := s.ContextLen / 2
+	ratios := []int{100, 80, 60, 40, 20}
+	beta := betaFor(s.Model.HeadDim)
+
+	fmt.Fprintf(w, "Figure 12: filtered DIPRS with a %d-token reused prefix (layer %d, beta=%.1f)\n\n",
+		prefix, layer, beta)
+	t := &table{header: []string{"stored tokens", "reuse ratio", "recall", "latency"}}
+
+	for _, ratio := range ratios {
+		stored := prefix * 100 / ratio
+		p, _ := workload.ProfileByName("En.QA")
+		inst := workload.Generate(p, s.Seed, stored, 64, s.Model.Vocab)
+		cache := m.BuildKV(inst.Doc)
+
+		kv := 0
+		queries := core.TrainingQueries(m, inst.Doc, layer, m.QueryHeadsOf(kv), 0.3)
+		g := graph.Build(cache.Keys(layer, kv), queries, graph.Config{
+			Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers})
+		fx := flat.New(cache.Keys(layer, kv), 1)
+
+		var recallSum float64
+		var elapsed time.Duration
+		trials := s.Trials * 4
+		for trial := 0; trial < trials; trial++ {
+			qh := m.QueryHeadsOf(kv)[trial%m.GroupSize()]
+			// Realistic decode queries: focused on the stored context's
+			// question topic (what sessions actually search for), with
+			// per-trial step noise.
+			q := m.QueryVector(inst.Doc, layer, qh, model.QuerySpec{
+				FocusTopics: inst.Question, Step: trial, ContextLen: stored})
+
+			exact, _ := fx.DIPRFiltered(q, beta, prefix)
+			start := time.Now()
+			res := query.DIPRS(g, q, query.DIPRSConfig{
+				Beta:   beta,
+				Filter: func(id int32) bool { return int(id) < prefix },
+			})
+			elapsed += time.Since(start)
+
+			got := make(map[int32]bool, len(res.Critical))
+			for _, c := range res.Critical {
+				got[c.ID] = true
+			}
+			hit := 0
+			for _, c := range exact {
+				if got[c.ID] {
+					hit++
+				}
+			}
+			if len(exact) > 0 {
+				recallSum += float64(hit) / float64(len(exact))
+			} else {
+				recallSum++
+			}
+		}
+		t.add(fmt.Sprintf("%d", stored), fmt.Sprintf("%d%%", ratio),
+			f3(recallSum/float64(trials)), fmtDur(elapsed/time.Duration(trials)))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\npaper: recall stays high at every reuse ratio; latency grows only ~1.13ms from 40K to 200K stored tokens")
+	return nil
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attention"
+	"repro/internal/index/flat"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig5", "critical tokens per layer-head at 90% recovery vs DIPR (Figure 5)", runFig5)
+}
+
+// runFig5 reproduces Figure 5: the number of tokens each head needs to
+// reach a 90% recovery ratio varies by orders of magnitude across heads,
+// and a single-β DIPR query tracks that dynamic requirement.
+func runFig5(s Scale, w io.Writer) error {
+	m := model.New(s.Model)
+	p, err := workload.ProfileByName("Retr.KV")
+	if err != nil {
+		return err
+	}
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	cache := m.BuildKV(inst.Doc)
+	beta := query.Beta(0.5, s.Model.HeadDim)
+
+	fmt.Fprintf(w, "Figure 5: tokens needed per head (context %d tokens, DIPR beta=%.1f)\n\n",
+		s.ContextLen, beta)
+	t := &table{header: []string{"layer", "head", "sharpness", "tokens@50%", "tokens@90%", "DIPR tokens"}}
+
+	minTok, maxTok := s.ContextLen, 0
+	for l := 0; l < s.Model.Layers; l++ {
+		for h := 0; h < s.Model.QHeads; h += 2 { // sample alternate heads like the paper's 5/layer
+			kv := m.KVGroup(h)
+			q := m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+				FocusTopics: inst.Question, ContextLen: s.ContextLen})
+			weights := attention.Weights(q, cache.Keys(l, kv))
+			// The substrate's flat attention tail inflates the 90% target
+			// uniformly (see EXPERIMENTS.md); the 50% column shows the
+			// per-head concentration spread the paper's figure is about.
+			need50 := attention.TokensForRecovery(weights, 0.5)
+			need90 := attention.TokensForRecovery(weights, 0.9)
+
+			fx := flat.New(cache.Keys(l, kv), s.Workers)
+			critical, _ := fx.DIPR(q, beta)
+
+			t.add(fmt.Sprintf("%d", l), fmt.Sprintf("%d", h),
+				f2(m.Sharpness(l, h)),
+				fmt.Sprintf("%d", need50), fmt.Sprintf("%d", need90),
+				fmt.Sprintf("%d", len(critical)))
+			if need50 < minTok {
+				minTok = need50
+			}
+			if need50 > maxTok {
+				maxTok = need50
+			}
+		}
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nspread: min %d, max %d tokens to reach 50%% recovery (%.0fx variation across heads)\n",
+		minTok, maxTok, float64(maxTok)/float64(max(1, minTok)))
+	fmt.Fprintf(w, "paper: 53 to 43K tokens across heads of Llama-3-8B-262k; DIPR with one beta tracks the per-head need\n")
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// headWeights is shared by fig5-style analyses in other experiments.
+func headWeights(m *model.Model, doc *model.Document, cacheKeys *vec.Matrix, layer, qHead int, question []int, n int) []float32 {
+	q := m.QueryVector(doc, layer, qHead, model.QuerySpec{FocusTopics: question, ContextLen: n})
+	return attention.Weights(q, cacheKeys)
+}

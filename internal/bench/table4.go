@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/index/coarse"
+	"repro/internal/index/flat"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("table4", "index-type characteristics: latency at small/large k, device memory (Table 4)", runTable4)
+}
+
+// runTable4 measures the characteristics Table 4 asserts qualitatively:
+// the coarse index answers from device-resident representatives (fast at
+// any k, large device footprint); the fine graph index is fast at small k
+// but degrades at large k (random access during traversal); the flat scan
+// is k-insensitive (sequential access) and wins at large k.
+func runTable4(s Scale, w io.Writer) error {
+	m := model.New(s.Model)
+	layer, kvHead := 1, 0
+	p, _ := workload.ProfileByName("En.QA")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	cache := m.BuildKV(inst.Doc)
+	keys := cache.Keys(layer, kvHead)
+
+	smallK := 16
+	largeK := s.ContextLen / 8
+
+	cx := coarse.New(keys, 16, coarse.Bound)
+	queries := core.TrainingQueries(m, inst.Doc, layer, m.QueryHeadsOf(kvHead), 0.3)
+	g := graph.Build(keys, queries, graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers})
+	fx := flat.New(keys, s.Workers)
+
+	trials := s.Trials * 8
+	makeQueries := func() [][]float32 {
+		out := make([][]float32, trials)
+		for i := range out {
+			qh := m.QueryHeadsOf(kvHead)[i%m.GroupSize()]
+			topic := inst.Doc.Tokens[(i*313)%s.ContextLen].Topic
+			out[i] = m.QueryVector(inst.Doc, layer, qh, model.QuerySpec{
+				FocusTopics: []int{topic}, Step: i, ContextLen: s.ContextLen})
+		}
+		return out
+	}
+	qs := makeQueries()
+
+	measure := func(f func(q []float32)) time.Duration {
+		start := time.Now()
+		for _, q := range qs {
+			f(q)
+		}
+		return time.Since(start) / time.Duration(trials)
+	}
+
+	coarseSmall := measure(func(q []float32) { cx.SelectTokens(q, smallK) })
+	coarseLarge := measure(func(q []float32) { cx.SelectTokens(q, largeK) })
+	fineSmall := measure(func(q []float32) { g.TopK(q, smallK) })
+	fineLarge := measure(func(q []float32) { g.TopK(q, largeK) })
+	flatSmall := measure(func(q []float32) { fx.TopK(q, smallK) })
+	flatLarge := measure(func(q []float32) { fx.TopK(q, largeK) })
+	beta := betaFor(s.Model.HeadDim)
+	fineDIPR := measure(func(q []float32) { query.DIPRS(g, q, query.DIPRSConfig{Beta: beta}) })
+	flatDIPR := measure(func(q []float32) { fx.DIPR(q, beta) })
+
+	// Device residency per Table 4: the coarse index keeps representatives
+	// and retrieved blocks on device; fine/flat only the window.
+	mc := m.Config()
+	coarseDev := cx.RepresentativeBytes() + int64(largeK)*int64(mc.HeadDim)*8
+	fineDev := int64(0)
+	flatDev := int64(0)
+
+	fmt.Fprintf(w, "Table 4: index characteristics (context %d, small k=%d, large k=%d, %d queries/cell)\n\n",
+		s.ContextLen, smallK, largeK, trials)
+	t := &table{header: []string{"index", "queries", "device MB", "lat small k", "lat large k", "lat DIPR"}}
+	t.add("Coarse", "topk,filter", f2(float64(coarseDev)/1e6), fmtDur(coarseSmall), fmtDur(coarseLarge), "n/a")
+	t.add("Fine", "topk,filter,dipr", f2(float64(fineDev)/1e6), fmtDur(fineSmall), fmtDur(fineLarge), fmtDur(fineDIPR))
+	t.add("Flat", "topk,filter,dipr", f2(float64(flatDev)/1e6), fmtDur(flatSmall), fmtDur(flatLarge), fmtDur(flatDIPR))
+	t.write(w)
+
+	fmt.Fprintf(w, "\nhost-side index sizes: coarse reps %.2f MB, graph adjacency %.2f MB, flat none\n",
+		float64(cx.RepresentativeBytes())/1e6, float64(g.Bytes())/1e6)
+	fmt.Fprintf(w, "total device-resident across index types: %.3f GB\n", devmem.GB(coarseDev+fineDev+flatDev))
+	fmt.Fprintln(w, "paper: coarse = low latency/large memory; fine = low latency at small k, high at large k; flat = k-insensitive")
+	return nil
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attention"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("window", "window-cache max-IP hit rate and DIPRS pruning effect (§7.1 observation)", runWindow)
+}
+
+// runWindow reproduces the §7.1 observation behind the window-cache
+// enhancement: for decode queries without a strong retrieval target (the
+// math_find-like workload), the key with the maximum inner product lies
+// inside a small [32 initial + 32 last] window almost always — and seeding
+// DIPRS with the window maximum reduces exploration without losing
+// critical tokens.
+func runWindow(s Scale, w io.Writer) error {
+	m := model.New(s.Model)
+	win := attention.Window{Sinks: 32, Recent: 32}
+	p, _ := workload.ProfileByName("Math.F")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	cache := m.BuildKV(inst.Doc)
+
+	trials := s.Trials * 16
+	hits, total := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		layer := 1 + trial%(s.Model.Layers-1)
+		qh := trial % s.Model.QHeads
+		kv := m.KVGroup(qh)
+		// No-focus queries: generation steps between retrievals, where
+		// attention pools on sinks and recent tokens.
+		q := m.QueryVector(inst.Doc, layer, qh, model.QuerySpec{
+			Step: trial, ContextLen: s.ContextLen})
+		keys := cache.Keys(layer, kv)
+		best, at := -1.0, -1
+		for i := 0; i < keys.Rows(); i++ {
+			if d := dot(q, keys.Row(i)); float64(d) > best {
+				best, at = float64(d), i
+			}
+		}
+		if win.Contains(at, s.ContextLen) {
+			hits++
+		}
+		total++
+	}
+	fmt.Fprintf(w, "window-cache observation (context %d, window 32+32, %d queries):\n", s.ContextLen, total)
+	fmt.Fprintf(w, "  max-inner-product key inside window: %.1f%% (paper: ~98%% on math_find)\n\n",
+		100*float64(hits)/float64(total))
+
+	// Pruning effect: DIPRS explored nodes with and without the seed.
+	// (Uses the flat-exact window maximum as the seed, as the engine does.)
+	fmt.Fprintln(w, "DIPRS exploration with window seeding (question-focused queries):")
+	t := &table{header: []string{"layer/head", "explored cold", "explored seeded", "saved"}}
+	for _, hr := range m.RetrievalHeads()[:minInt(4, len(m.RetrievalHeads()))] {
+		kv := m.KVGroup(hr.QHead)
+		keys := cache.Keys(hr.Layer, kv)
+		queries := trainingFor(m, inst.Doc, hr.Layer, kv)
+		g := buildGraphFor(keys, queries, s.Workers)
+		q := m.QueryVector(inst.Doc, hr.Layer, hr.QHead, model.QuerySpec{
+			FocusTopics: inst.Question, ContextLen: s.ContextLen})
+		cold := query.DIPRS(g, q, query.DIPRSConfig{Beta: betaFor(s.Model.HeadDim)})
+		seed, _ := query.WindowMax(q, keys, win.Indices(s.ContextLen))
+		warm := query.DIPRS(g, q, query.DIPRSConfig{
+			Beta: betaFor(s.Model.HeadDim), InitialMax: seed, HasInitialMax: true})
+		saved := 0.0
+		if cold.Explored > 0 {
+			saved = 100 * float64(cold.Explored-warm.Explored) / float64(cold.Explored)
+		}
+		t.add(fmt.Sprintf("%d/%d", hr.Layer, hr.QHead),
+			fmt.Sprintf("%d", cold.Explored), fmt.Sprintf("%d", warm.Explored),
+			fmt.Sprintf("%.0f%%", saved))
+	}
+	t.write(w)
+	return nil
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

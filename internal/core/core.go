@@ -1,0 +1,387 @@
+// Package core implements AlayaDB's user-facing abstractions (§5): DB, the
+// long-term store of contexts (prompts, KV cache, vector indexes), and
+// Session, the connection between stored contexts and a running inference
+// request. Together they replace the inference engine's own KV cache and
+// attention computation: Session.Update ingests newly generated K/V (the
+// DynamicCache.update counterpart) and Session.Attention returns attention
+// outputs directly (the flash-attention counterpart), so the engine never
+// touches KV data.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/attention"
+	"repro/internal/devmem"
+	"repro/internal/index/graph"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/vec"
+)
+
+// Config assembles a DB.
+type Config struct {
+	// Model is the transformer substrate whose KV the DB manages. Required.
+	Model *model.Model
+	// Device is the simulated accelerator used for memory accounting. If
+	// nil, an unlimited device is created.
+	Device *devmem.Device
+	// Window is the sink+recent token window kept on device (§7.1).
+	// Defaults to 32+32.
+	Window attention.Window
+	// Beta is the default DIPR range parameter. Defaults to Beta(0.5, d).
+	Beta float32
+	// TopK is the retrieval size used when the optimizer selects a top-k
+	// plan. Defaults to 100.
+	TopK int
+	// CoarseBudget is the number of tokens the coarse path attends to per
+	// query (InfLLM's retrieval budget). Defaults to 4096.
+	CoarseBudget int
+	// LongThreshold forwards to the optimizer (0 = default 4096).
+	LongThreshold int
+	// Graph configures fine-index construction.
+	Graph graph.Config
+	// QuerySampleRate is the fraction of positions whose synthetic queries
+	// train the bipartite graph build (§7.2 uses 40%). Defaults to 0.4.
+	QuerySampleRate float64
+	// ShareGQA enables one index per kv-head group instead of one per
+	// query head (§7.2 index sharing). Defaults to true; the ablation in
+	// bench/fig11 turns it off.
+	ShareGQA *bool
+	// Workers bounds build/scan parallelism. Defaults to 2.
+	Workers int
+	// ContextBudget bounds the total bytes (KV + indexes) of stored
+	// contexts; the least-recently-used context is evicted from the reuse
+	// store when an import exceeds it. 0 = unlimited.
+	ContextBudget int64
+}
+
+func (c *Config) defaults() error {
+	if c.Model == nil {
+		return fmt.Errorf("core: Config.Model is required")
+	}
+	if c.Device == nil {
+		c.Device = devmem.New(0)
+	}
+	if c.Window == (attention.Window{}) {
+		c.Window = attention.Window{Sinks: 32, Recent: 32}
+	}
+	if c.Beta == 0 {
+		c.Beta = query.Beta(0.5, c.Model.Config().HeadDim)
+	}
+	if c.TopK <= 0 {
+		c.TopK = 100
+	}
+	if c.CoarseBudget <= 0 {
+		c.CoarseBudget = 4096
+	}
+	if c.QuerySampleRate <= 0 || c.QuerySampleRate > 1 {
+		c.QuerySampleRate = 0.4
+	}
+	if c.ShareGQA == nil {
+		t := true
+		c.ShareGQA = &t
+	}
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	return nil
+}
+
+// DB manages stored contexts. Safe for concurrent use.
+type DB struct {
+	cfg       Config
+	mu        sync.RWMutex
+	contexts  []*Context
+	weightsH  int   // devmem handle for model weights
+	clock     int64 // logical clock for context recency
+	evictions int64
+}
+
+// Context is a stored, reusable long context: its prompts (token sequence),
+// KV cache, and per-(layer, group) vector indexes.
+type Context struct {
+	doc      *model.Document
+	cache    *kvcache.Cache
+	graphs   []*graph.Graph // layer*indexGroups + group; nil until built
+	groups   int            // query-head groups per layer (1 per kv head if shared)
+	lastUsed int64          // recency under the DB's logical clock
+}
+
+// Doc returns the stored token sequence.
+func (c *Context) Doc() *model.Document { return c.doc }
+
+// Cache returns the stored KV cache (read-only).
+func (c *Context) Cache() *kvcache.Cache { return c.cache }
+
+// Len returns the stored context length in tokens.
+func (c *Context) Len() int { return c.doc.Len() }
+
+// New creates a DB. The model's weights are registered against the device,
+// mirroring the resident-weights footprint of a real deployment.
+func New(cfg Config) (*DB, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	db := &DB{cfg: cfg}
+	h, err := cfg.Device.Alloc(cfg.Model.WeightsBytes(), devmem.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("core: registering model weights: %w", err)
+	}
+	db.weightsH = h
+	return db, nil
+}
+
+// Model returns the substrate the DB serves.
+func (db *DB) Model() *model.Model { return db.cfg.Model }
+
+// Device returns the DB's device accountant.
+func (db *DB) Device() *devmem.Device { return db.cfg.Device }
+
+// Window returns the configured device window.
+func (db *DB) Window() attention.Window { return db.cfg.Window }
+
+// NumContexts returns the number of stored contexts.
+func (db *DB) NumContexts() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.contexts)
+}
+
+// Import stores a precomputed context (prompts + KV cache) for future
+// reuse, building its vector indexes eagerly — the DB.import API of
+// Table 2. The cache must match doc's length.
+func (db *DB) Import(doc *model.Document, cache *kvcache.Cache) (*Context, error) {
+	if cache.SeqLen(0) != doc.Len() {
+		return nil, fmt.Errorf("core: cache holds %d tokens, document has %d", cache.SeqLen(0), doc.Len())
+	}
+	ctx := &Context{doc: doc, cache: cache}
+	db.BuildIndexes(ctx)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.contexts = append(db.contexts, ctx)
+	db.touchLocked(ctx)
+	if err := db.enforceBudgetLocked(ctx); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// ImportDoc generates the KV cache for doc through the model substrate and
+// imports it (convenience for examples and tests).
+func (db *DB) ImportDoc(doc *model.Document) (*Context, error) {
+	return db.Import(doc, db.cfg.Model.BuildKV(doc))
+}
+
+// indexGroups returns how many indexes each layer carries: one per kv head
+// under GQA sharing, one per query head otherwise.
+func (db *DB) indexGroups() int {
+	if *db.cfg.ShareGQA {
+		return db.cfg.Model.Config().KVHeads
+	}
+	return db.cfg.Model.Config().QHeads
+}
+
+// groupOf maps a query head to its index group.
+func (db *DB) groupOf(qHead int) int {
+	if *db.cfg.ShareGQA {
+		return db.cfg.Model.KVGroup(qHead)
+	}
+	return qHead
+}
+
+// kvHeadOfGroup maps an index group back to the kv head whose keys it
+// indexes.
+func (db *DB) kvHeadOfGroup(group int) int {
+	if *db.cfg.ShareGQA {
+		return group
+	}
+	return db.cfg.Model.KVGroup(group)
+}
+
+// BuildIndexes constructs the fine (graph) indexes for every layer and
+// index group of ctx. Under GQA sharing, the training queries for a group
+// merge samples from all of the group's query heads, so one graph captures
+// every head's distribution (§7.2).
+func (db *DB) BuildIndexes(ctx *Context) {
+	m := db.cfg.Model
+	mc := m.Config()
+	groups := db.indexGroups()
+	ctx.groups = groups
+	ctx.graphs = make([]*graph.Graph, mc.Layers*groups)
+
+	type job struct{ layer, group int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < db.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				kv := db.kvHeadOfGroup(j.group)
+				keys := ctx.cache.Keys(j.layer, kv)
+				queries := db.sampleQueries(ctx.doc, j.layer, j.group)
+				gcfg := db.cfg.Graph
+				gcfg.Workers = 1 // parallelism is across jobs here
+				ctx.graphs[j.layer*groups+j.group] = graph.Build(keys, queries, gcfg)
+			}
+		}()
+	}
+	for l := 0; l < mc.Layers; l++ {
+		for g := 0; g < groups; g++ {
+			jobs <- job{layer: l, group: g}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// sampleQueries synthesizes the historical-query training set for a graph:
+// queries from every query head mapped to the group, at sampled positions
+// and topics drawn from the document itself.
+func (db *DB) sampleQueries(doc *model.Document, layer, group int) *vec.Matrix {
+	m := db.cfg.Model
+	var heads []int
+	if *db.cfg.ShareGQA {
+		heads = m.QueryHeadsOf(group)
+	} else {
+		heads = []int{group}
+	}
+	return TrainingQueries(m, doc, layer, heads, db.cfg.QuerySampleRate)
+}
+
+// TrainingQueries synthesizes the historical-query set used to train a
+// bipartite (RoarGraph) index for one layer: sampled positional queries
+// plus one query per distinct document topic. During a real prefill each
+// position issues a query attending to its own content, so even a topic
+// mentioned once is represented in the query history the index trains on
+// (§7.2 samples 40% of prefill queries per head). Exported for baselines
+// and benchmarks that build indexes outside a DB.
+func TrainingQueries(m *model.Model, doc *model.Document, layer int, heads []int, rate float64) *vec.Matrix {
+	n := doc.Len()
+	if n == 0 || len(heads) == 0 {
+		return nil
+	}
+	if rate <= 0 || rate > 1 {
+		rate = 0.4
+	}
+	perHead := int(float64(n) * rate / float64(len(heads)))
+	if perHead < 8 {
+		perHead = 8
+	}
+	const topicCap = 2048
+	topicSet := make(map[int]bool)
+	var topics []int
+	for _, tok := range doc.Tokens {
+		if !topicSet[tok.Topic] {
+			topicSet[tok.Topic] = true
+			topics = append(topics, tok.Topic)
+			if len(topics) >= topicCap {
+				break
+			}
+		}
+	}
+
+	qm := vec.NewMatrix(0, m.Config().HeadDim)
+	for _, h := range heads {
+		for s := 0; s < perHead; s++ {
+			// Positional samples cycle through the document at a stride,
+			// covering the bulk topic mix.
+			pos := (s * 7919) % n
+			spec := model.QuerySpec{
+				FocusTopics: []int{doc.Tokens[pos].Topic},
+				Step:        s,
+				ContextLen:  n,
+			}
+			qm.Append(m.QueryVector(doc, layer, h, spec))
+		}
+		for i, topic := range topics {
+			spec := model.QuerySpec{
+				FocusTopics: []int{topic},
+				Step:        perHead + i,
+				ContextLen:  n,
+			}
+			qm.Append(m.QueryVector(doc, layer, h, spec))
+		}
+	}
+	return qm
+}
+
+// Graph returns the fine index for (layer, qHead) of a stored context, or
+// nil if not built.
+func (ctx *Context) Graph(db *DB, layer, qHead int) *graph.Graph {
+	if ctx.graphs == nil {
+		return nil
+	}
+	return ctx.graphs[layer*ctx.groups+db.groupOf(qHead)]
+}
+
+// IndexBytes returns the total adjacency footprint of the context's graphs.
+func (ctx *Context) IndexBytes() int64 {
+	var n int64
+	for _, g := range ctx.graphs {
+		if g != nil {
+			n += g.Bytes()
+		}
+	}
+	return n
+}
+
+// CreateSession opens a session for doc, reusing the longest common prefix
+// with any stored context (DB.create_session in Table 2). It returns the
+// session and the number of tokens reused: the caller only needs to feed
+// tokens from that position on through Session.Update.
+func (db *DB) CreateSession(doc *model.Document) (*Session, int) {
+	db.mu.Lock()
+	var best *Context
+	bestLen := 0
+	for _, ctx := range db.contexts {
+		if l := commonPrefix(ctx.doc, doc); l > bestLen {
+			best, bestLen = ctx, l
+		}
+	}
+	if best != nil {
+		db.touchLocked(best)
+	}
+	db.mu.Unlock()
+	s := newSession(db, best, bestLen, doc)
+	return s, bestLen
+}
+
+// Store persists a session's full state as a new reusable context
+// (DB.store in Table 2). This is the late-materialization point (§7.2):
+// the session's appended tokens are merged with the reused prefix into a
+// fresh context whose indexes are built now, not during decoding.
+func (db *DB) Store(s *Session) (*Context, error) {
+	doc, cache, err := s.materialize()
+	if err != nil {
+		return nil, err
+	}
+	return db.Import(doc, cache)
+}
+
+// Close releases the DB's device registrations.
+func (db *DB) Close() error {
+	return db.cfg.Device.Free(db.weightsH)
+}
+
+// commonPrefix returns the number of leading tokens shared by two
+// documents. Documents from different sources (seeds) share nothing: their
+// KV caches would differ even for equal token sequences.
+func commonPrefix(a, b *model.Document) int {
+	if a.Seed != b.Seed {
+		return 0
+	}
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if a.Tokens[i] != b.Tokens[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// Context-store capacity management: a DB configured with a byte budget
+// evicts the least-recently-used stored contexts when imports push it over.
+// "Used" means reused by a session (CreateSession) or freshly imported.
+// Eviction only removes the context from the reuse store — sessions already
+// holding it keep working (the context is immutable and garbage-collected
+// when the last session drops it).
+
+// ContextBudget returns the configured stored-context byte budget
+// (0 = unlimited).
+func (db *DB) ContextBudget() int64 { return db.cfg.ContextBudget }
+
+// StoredBytes returns the total KV + index footprint of all stored
+// contexts.
+func (db *DB) StoredBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.storedBytesLocked()
+}
+
+func (db *DB) storedBytesLocked() int64 {
+	var n int64
+	for _, ctx := range db.contexts {
+		n += ctx.Bytes()
+	}
+	return n
+}
+
+// Bytes returns a stored context's total footprint: KV cache plus graph
+// adjacency.
+func (ctx *Context) Bytes() int64 {
+	return ctx.cache.Bytes() + ctx.IndexBytes()
+}
+
+// touch marks ctx most-recently-used. Caller holds db.mu for writing.
+func (db *DB) touchLocked(ctx *Context) {
+	db.clock++
+	ctx.lastUsed = db.clock
+}
+
+// enforceBudgetLocked evicts least-recently-used contexts until the store
+// fits the budget, never evicting the context passed in (the one just
+// imported or about to be used). Caller holds db.mu for writing.
+func (db *DB) enforceBudgetLocked(keep *Context) error {
+	if db.cfg.ContextBudget <= 0 {
+		return nil
+	}
+	for db.storedBytesLocked() > db.cfg.ContextBudget {
+		victim := -1
+		for i, ctx := range db.contexts {
+			if ctx == keep {
+				continue
+			}
+			if victim == -1 || ctx.lastUsed < db.contexts[victim].lastUsed {
+				victim = i
+			}
+		}
+		if victim == -1 {
+			return fmt.Errorf("core: context store over budget (%d > %d) with nothing evictable",
+				db.storedBytesLocked(), db.cfg.ContextBudget)
+		}
+		db.contexts = append(db.contexts[:victim], db.contexts[victim+1:]...)
+		db.evictions++
+	}
+	return nil
+}
+
+// Evictions returns how many stored contexts have been evicted for
+// capacity.
+func (db *DB) Evictions() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.evictions
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/index/graph"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/storage/vfs"
+)
+
+// Persistence layout: one directory per context, one vector file per
+// (layer, kv-head) for keys and one for values; each index group's graph
+// adjacency lives in the keys file of its kv head (ShareGQA) or in a
+// dedicated file (per-query-head indexes); a JSON manifest records the
+// document and graph entry points.
+//
+// manifest.json
+// L<layer>H<head>.keys    KV keys + (shared) graph adjacency
+// L<layer>H<head>.vals    KV values
+// L<layer>G<group>.graph  adjacency when not GQA-shared
+
+type manifest struct {
+	Version   int           `json:"version"`
+	Model     model.Config  `json:"model"`
+	Seed      uint64        `json:"seed"`
+	Tokens    []model.Token `json:"tokens"`
+	Groups    int           `json:"groups"`
+	ShareGQA  bool          `json:"share_gqa"`
+	Entries   []int32       `json:"entries"` // graph entry points, layer*groups+group
+	BlockSize int           `json:"block_size"`
+}
+
+// SaveContext persists a stored context into dir (created if absent).
+func (db *DB) SaveContext(ctx *Context, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save context: %w", err)
+	}
+	mc := db.cfg.Model.Config()
+	man := manifest{
+		Version:   1,
+		Model:     mc,
+		Seed:      ctx.doc.Seed,
+		Tokens:    ctx.doc.Tokens,
+		Groups:    ctx.groups,
+		ShareGQA:  *db.cfg.ShareGQA,
+		Entries:   make([]int32, len(ctx.graphs)),
+		BlockSize: vfs.DefaultBlock,
+	}
+	for i, g := range ctx.graphs {
+		if g != nil {
+			man.Entries[i] = g.Entry()
+		}
+	}
+
+	for l := 0; l < mc.Layers; l++ {
+		for h := 0; h < mc.KVHeads; h++ {
+			kf, err := vfs.Create(filepath.Join(dir, fmt.Sprintf("L%dH%d.keys", l, h)), vfs.DefaultBlock, mc.HeadDim)
+			if err != nil {
+				return err
+			}
+			if err := kf.AppendMatrix(ctx.cache.Keys(l, h)); err != nil {
+				kf.Close()
+				return err
+			}
+			if man.ShareGQA {
+				g := ctx.graphs[l*ctx.groups+h]
+				if g != nil {
+					if err := kf.WriteAdjacency(adjacencyOf(g)); err != nil {
+						kf.Close()
+						return err
+					}
+				}
+			}
+			if err := kf.Close(); err != nil {
+				return err
+			}
+
+			vf, err := vfs.Create(filepath.Join(dir, fmt.Sprintf("L%dH%d.vals", l, h)), vfs.DefaultBlock, mc.HeadDim)
+			if err != nil {
+				return err
+			}
+			if err := vf.AppendMatrix(ctx.cache.Values(l, h)); err != nil {
+				vf.Close()
+				return err
+			}
+			if err := vf.Close(); err != nil {
+				return err
+			}
+		}
+		if !man.ShareGQA {
+			for g := 0; g < ctx.groups; g++ {
+				gr := ctx.graphs[l*ctx.groups+g]
+				if gr == nil {
+					continue
+				}
+				gf, err := vfs.Create(filepath.Join(dir, fmt.Sprintf("L%dG%d.graph", l, g)), vfs.DefaultBlock, mc.HeadDim)
+				if err != nil {
+					return err
+				}
+				if err := gf.WriteAdjacency(adjacencyOf(gr)); err != nil {
+					gf.Close()
+					return err
+				}
+				if err := gf.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), raw, 0o644)
+}
+
+// LoadContext restores a context saved by SaveContext and registers it in
+// the DB for session reuse. The manifest's model configuration must match
+// the DB's.
+func (db *DB) LoadContext(dir string) (*Context, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("core: load context: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("core: parse manifest: %w", err)
+	}
+	mc := db.cfg.Model.Config()
+	if man.Model != mc {
+		return nil, fmt.Errorf("core: context was saved for model %+v, DB runs %+v", man.Model, mc)
+	}
+	if man.ShareGQA != *db.cfg.ShareGQA {
+		return nil, fmt.Errorf("core: context GQA sharing (%v) differs from DB (%v)", man.ShareGQA, *db.cfg.ShareGQA)
+	}
+
+	ctx := &Context{
+		doc:    &model.Document{Seed: man.Seed, Tokens: man.Tokens},
+		cache:  kvcache.New(mc.Layers, mc.KVHeads, mc.HeadDim),
+		groups: man.Groups,
+		graphs: make([]*graph.Graph, mc.Layers*man.Groups),
+	}
+	for l := 0; l < mc.Layers; l++ {
+		for h := 0; h < mc.KVHeads; h++ {
+			kf, err := vfs.Open(filepath.Join(dir, fmt.Sprintf("L%dH%d.keys", l, h)))
+			if err != nil {
+				return nil, err
+			}
+			keys, err := kf.ReadAll()
+			if err != nil {
+				kf.Close()
+				return nil, err
+			}
+			var adj [][]int32
+			if man.ShareGQA {
+				if adj, err = kf.ReadAdjacency(); err != nil {
+					kf.Close()
+					return nil, err
+				}
+			}
+			kf.Close()
+
+			vf, err := vfs.Open(filepath.Join(dir, fmt.Sprintf("L%dH%d.vals", l, h)))
+			if err != nil {
+				return nil, err
+			}
+			vals, err := vf.ReadAll()
+			if err != nil {
+				vf.Close()
+				return nil, err
+			}
+			vf.Close()
+
+			if keys.Rows() != vals.Rows() {
+				return nil, fmt.Errorf("core: layer %d head %d: %d keys vs %d values", l, h, keys.Rows(), vals.Rows())
+			}
+			for i := 0; i < keys.Rows(); i++ {
+				ctx.cache.Append(l, h, keys.Row(i), vals.Row(i))
+			}
+			if man.ShareGQA && adj != nil {
+				slot := l*man.Groups + h
+				ctx.graphs[slot] = graph.FromAdjacency(ctx.cache.Keys(l, h), adj, man.Entries[slot], db.cfg.Graph)
+			}
+		}
+		if !man.ShareGQA {
+			for g := 0; g < man.Groups; g++ {
+				path := filepath.Join(dir, fmt.Sprintf("L%dG%d.graph", l, g))
+				if _, err := os.Stat(path); err != nil {
+					continue
+				}
+				gf, err := vfs.Open(path)
+				if err != nil {
+					return nil, err
+				}
+				adj, err := gf.ReadAdjacency()
+				gf.Close()
+				if err != nil {
+					return nil, err
+				}
+				slot := l*man.Groups + g
+				kv := db.kvHeadOfGroup(g)
+				ctx.graphs[slot] = graph.FromAdjacency(ctx.cache.Keys(l, kv), adj, man.Entries[slot], db.cfg.Graph)
+			}
+		}
+	}
+	if ctx.cache.SeqLen(0) != ctx.doc.Len() {
+		return nil, fmt.Errorf("core: loaded cache holds %d tokens, manifest document has %d", ctx.cache.SeqLen(0), ctx.doc.Len())
+	}
+
+	db.mu.Lock()
+	db.contexts = append(db.contexts, ctx)
+	db.mu.Unlock()
+	return ctx, nil
+}
+
+// adjacencyOf extracts a graph's adjacency lists.
+func adjacencyOf(g *graph.Graph) [][]int32 {
+	adj := make([][]int32, g.Len())
+	for i := range adj {
+		adj[i] = g.Neighbors(int32(i))
+	}
+	return adj
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+func TestSaveLoadContextRoundTrip(t *testing.T) {
+	db := testDB(t, nil)
+	const n = 500
+	doc := model.NewFiller(21, n, 32, 32)
+	doc.Plant(250, 200, 9, 1)
+	ctx, err := db.ImportDoc(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ctx")
+	if err := db.SaveContext(ctx, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second DB (same model) loads the context and serves sessions.
+	db2 := testDB(t, nil)
+	loaded, err := db2.LoadContext(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != n {
+		t.Fatalf("loaded len = %d", loaded.Len())
+	}
+	// KV must be byte-identical.
+	mc := db.Model().Config()
+	for l := 0; l < mc.Layers; l++ {
+		for h := 0; h < mc.KVHeads; h++ {
+			a, b := ctx.Cache().Keys(l, h), loaded.Cache().Keys(l, h)
+			for i := 0; i < n; i += 97 {
+				for j := range a.Row(i) {
+					if a.Row(i)[j] != b.Row(i)[j] {
+						t.Fatalf("keys differ at L%dH%d row %d", l, h, i)
+					}
+				}
+			}
+			av, bv := ctx.Cache().Values(l, h), loaded.Cache().Values(l, h)
+			for j := range av.Row(0) {
+				if av.Row(0)[j] != bv.Row(0)[j] {
+					t.Fatalf("values differ at L%dH%d", l, h)
+				}
+			}
+		}
+	}
+	// Graphs must be reusable: a session over the loaded context retrieves
+	// through the persisted index.
+	sess, reused := db2.CreateSession(loaded.Doc())
+	defer sess.Close()
+	if reused != n {
+		t.Fatalf("reused = %d", reused)
+	}
+	mdl := db2.Model()
+	q := mdl.QueryVector(loaded.Doc(), 1, 0, model.QuerySpec{FocusTopics: []int{200}, ContextLen: n})
+	res := sess.Attention(1, 0, q)
+	if res.Plan.Query == query.KindDIPR && res.Retrieved == 0 {
+		t.Error("loaded context retrieved nothing")
+	}
+}
+
+func TestLoadContextModelMismatch(t *testing.T) {
+	db := testDB(t, nil)
+	doc := model.NewFiller(22, 300, 16, 32)
+	ctx, err := db.ImportDoc(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ctx")
+	if err := db.SaveContext(ctx, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := model.Default()
+	otherCfg.Layers = 3 // differs from testModel's 2
+	otherCfg.HeadDim = 128
+	other, err := New(Config{Model: model.New(otherCfg), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.LoadContext(dir); err == nil {
+		t.Fatal("model mismatch accepted")
+	}
+}
+
+func TestLoadContextMissingDir(t *testing.T) {
+	db := testDB(t, nil)
+	if _, err := db.LoadContext(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestLoadContextCorruptManifest(t *testing.T) {
+	db := testDB(t, nil)
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644)
+	if _, err := db.LoadContext(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestSaveLoadWithoutGQASharing(t *testing.T) {
+	noShare := false
+	mdl := testModel()
+	db, err := New(Config{Model: mdl, ShareGQA: &noShare, Workers: 2,
+		LongThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	doc := model.NewFiller(23, 300, 16, 32)
+	ctx, err := db.ImportDoc(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.groups != mdl.Config().QHeads {
+		t.Fatalf("groups = %d, want one per query head", ctx.groups)
+	}
+	dir := filepath.Join(t.TempDir(), "ctx")
+	if err := db.SaveContext(ctx, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := New(Config{Model: testModel(), ShareGQA: &noShare, Workers: 2, LongThreshold: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	loaded, err := db2.LoadContext(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph(db2, 1, 3) == nil {
+		t.Error("per-head graph missing after load")
+	}
+}
+
+func TestShareMismatchRejected(t *testing.T) {
+	db := testDB(t, nil) // sharing on
+	doc := model.NewFiller(24, 300, 16, 32)
+	ctx, _ := db.ImportDoc(doc)
+	dir := filepath.Join(t.TempDir(), "ctx")
+	if err := db.SaveContext(ctx, dir); err != nil {
+		t.Fatal(err)
+	}
+	noShare := false
+	db2, err := New(Config{Model: testModel(), ShareGQA: &noShare, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.LoadContext(dir); err == nil {
+		t.Fatal("GQA sharing mismatch accepted")
+	}
+}

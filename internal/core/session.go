@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/attention"
+	"repro/internal/devmem"
+	"repro/internal/index"
+	"repro/internal/index/coarse"
+	"repro/internal/index/flat"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/query"
+)
+
+// Session connects a (possibly reused) stored context with a running
+// inference request (§5). A session's context is split at reuseLen: tokens
+// below it live in the reused stored context (searchable through its
+// indexes), tokens at or above it live in the session-local tail cache —
+// the late-materialization zone (§7.2): they are attended through the
+// window, not indexed, until DB.Store materializes them.
+type Session struct {
+	db       *DB
+	base     *Context // reused stored context; nil when starting cold
+	reuseLen int      // tokens reused from base
+	doc      *model.Document
+	tail     *kvcache.Cache
+
+	mu       sync.Mutex
+	coarseIx map[int]*coarse.Index // lazy, keyed by layer*kvHeads+kvHead
+	coarseH  map[int]int           // devmem handles for coarse block cache
+	windowH  int                   // devmem handle for the device window
+	closed   bool
+
+	stats Stats
+}
+
+// Stats counts a session's query processing activity.
+type Stats struct {
+	// Plans counts executed plans by their String() form.
+	Plans map[string]int
+	// Retrieved is the total number of critical tokens retrieved.
+	Retrieved int64
+	// Explored is the total number of index nodes scored.
+	Explored int64
+	// Queries is the number of Attention calls served.
+	Queries int64
+	// FlatFallbacks counts fine-plan queries served by a flat scan because
+	// no graph index covered the data.
+	FlatFallbacks int64
+	// CoarseFallbacks counts coarse-plan queries downgraded because the
+	// device could not hold the block cache.
+	CoarseFallbacks int64
+}
+
+func newSession(db *DB, base *Context, reuseLen int, doc *model.Document) *Session {
+	// The session owns its document: generation appends tokens to it, and
+	// mutating the caller's prompt (or a stored context's document) through
+	// the session would corrupt prefix matching for later sessions.
+	owned := &model.Document{Seed: doc.Seed, Tokens: append([]model.Token(nil), doc.Tokens...)}
+	s := &Session{
+		db:       db,
+		base:     base,
+		reuseLen: reuseLen,
+		doc:      owned,
+		tail:     kvcache.New(db.cfg.Model.Config().Layers, db.cfg.Model.Config().KVHeads, db.cfg.Model.Config().HeadDim),
+		coarseIx: make(map[int]*coarse.Index),
+		coarseH:  make(map[int]int),
+		windowH:  -1,
+		stats:    Stats{Plans: make(map[string]int)},
+	}
+	mc := db.cfg.Model.Config()
+	winBytes := int64(db.cfg.Window.Sinks+db.cfg.Window.Recent) * int64(mc.Layers) * int64(mc.KVHeads) * int64(mc.HeadDim) * 4 * 2
+	if h, err := db.cfg.Device.Alloc(winBytes, devmem.Window); err == nil {
+		s.windowH = h
+	}
+	return s
+}
+
+// Doc returns the session's document (reused prefix plus appended tokens).
+func (s *Session) Doc() *model.Document { return s.doc }
+
+// ReuseLen returns the number of tokens reused from a stored context.
+func (s *Session) ReuseLen() int { return s.reuseLen }
+
+// PartialReuse reports whether the session reuses only a strict prefix of
+// its stored context, which forces attribute filtering (§7.1).
+func (s *Session) PartialReuse() bool {
+	return s.base != nil && s.reuseLen < s.base.Len()
+}
+
+// ContextLen returns the session's current context length for a layer:
+// reused prefix plus ingested tail tokens.
+func (s *Session) ContextLen(layer int) int {
+	return s.reuseLen + s.tail.SeqLen(layer)
+}
+
+// Stats returns a copy of the session's counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := s.stats
+	cp.Plans = make(map[string]int, len(s.stats.Plans))
+	for k, v := range s.stats.Plans {
+		cp.Plans[k] = v
+	}
+	return cp
+}
+
+// Update ingests one token's key and value vectors for one layer across all
+// kv heads — the Session.update API of Table 2, the counterpart of
+// HuggingFace's DynamicCache.update. ks and vs are indexed by kv head.
+func (s *Session) Update(layer int, ks, vs [][]float32) {
+	s.tail.AppendAll(layer, ks, vs)
+}
+
+// PrefillRemaining generates and ingests KV for every document token not
+// covered by the reused prefix, through the model substrate. It returns the
+// number of tokens ingested per layer.
+func (s *Session) PrefillRemaining() int {
+	m := s.db.cfg.Model
+	mc := m.Config()
+	fed := 0
+	for l := 0; l < mc.Layers; l++ {
+		start := s.reuseLen + s.tail.SeqLen(l)
+		for pos := start; pos < s.doc.Len(); pos++ {
+			ks := make([][]float32, mc.KVHeads)
+			vs := make([][]float32, mc.KVHeads)
+			for h := 0; h < mc.KVHeads; h++ {
+				ks[h] = m.KeyVector(s.doc, pos, l, h)
+				vs[h] = m.ValueVector(s.doc, pos, l, h)
+			}
+			s.Update(l, ks, vs)
+			if l == 0 {
+				fed++
+			}
+		}
+	}
+	return fed
+}
+
+// AppendToken extends the session document with a newly generated token and
+// ingests its KV across all layers.
+func (s *Session) AppendToken(t model.Token) {
+	pos := s.doc.Append(t)
+	m := s.db.cfg.Model
+	mc := m.Config()
+	for l := 0; l < mc.Layers; l++ {
+		ks := make([][]float32, mc.KVHeads)
+		vs := make([][]float32, mc.KVHeads)
+		for h := 0; h < mc.KVHeads; h++ {
+			ks[h] = m.KeyVector(s.doc, pos, l, h)
+			vs[h] = m.ValueVector(s.doc, pos, l, h)
+		}
+		s.Update(l, ks, vs)
+	}
+}
+
+// AttentionResult carries one head's attention output plus the execution
+// facts experiments record.
+type AttentionResult struct {
+	Output       []float32
+	Plan         query.Plan
+	Retrieved    int   // critical tokens retrieved (excluding window/tail)
+	RetrievedIDs []int // the retrieved positions themselves
+	Explored     int   // index nodes scored
+	Attended     int   // total tokens that participated in the output
+}
+
+// Attention computes the attention output of q for (layer, qHead) over the
+// session's whole context — the Session.attention API of Table 2. The
+// execution plan is chosen by the rule-based optimizer (Figure 8).
+func (s *Session) Attention(layer, qHead int, q []float32) AttentionResult {
+	n := s.ContextLen(layer)
+	plan := query.Optimize(query.Request{
+		ContextLen:    n,
+		LongThreshold: s.db.cfg.LongThreshold,
+		PartialReuse:  s.PartialReuse(),
+		DeviceFree:    s.deviceFree(),
+		CoarseNeed:    s.coarseNeed(),
+		Layer:         layer,
+	})
+	res := s.execute(plan, layer, qHead, q, n)
+	s.mu.Lock()
+	s.stats.Plans[res.Plan.String()]++
+	s.stats.Retrieved += int64(res.Retrieved)
+	s.stats.Explored += int64(res.Explored)
+	s.stats.Queries++
+	s.mu.Unlock()
+	return res
+}
+
+// AttentionAll computes attention for every query head of a layer. qs is
+// indexed by query head.
+func (s *Session) AttentionAll(layer int, qs [][]float32) []AttentionResult {
+	out := make([]AttentionResult, len(qs))
+	for h, q := range qs {
+		out[h] = s.Attention(layer, h, q)
+	}
+	return out
+}
+
+func (s *Session) deviceFree() int64 {
+	free := s.db.cfg.Device.FreeBytes()
+	if free < 0 {
+		return math.MaxInt64
+	}
+	return free
+}
+
+// coarseNeed estimates the device bytes the coarse path would require: the
+// block representatives plus a resident working set of one retrieval budget
+// of KV per layer.
+func (s *Session) coarseNeed() int64 {
+	if s.base == nil {
+		return 0
+	}
+	mc := s.db.cfg.Model.Config()
+	perTokenBytes := int64(mc.HeadDim) * 4 * 2 * int64(mc.KVHeads)
+	budget := int64(s.db.cfg.CoarseBudget) * perTokenBytes * int64(mc.Layers)
+	reps := s.base.cache.Bytes() / 8 // min/max/mean summaries at block granularity
+	return budget + reps
+}
+
+// execute runs a plan. All retrieval happens against the reused stored
+// context (positions < reuseLen); tail tokens and the window always
+// participate in the attention output.
+func (s *Session) execute(plan query.Plan, layer, qHead int, q []float32, n int) AttentionResult {
+	var retrieved []int
+	explored := 0
+	kv := s.db.cfg.Model.KVGroup(qHead)
+
+	switch plan.Query {
+	case query.KindFull:
+		// Everything participates; no retrieval.
+	case query.KindTopK:
+		if idx, ok := s.coarseIndex(layer, kv); ok {
+			retrieved = idx.SelectTokens(q, s.db.cfg.CoarseBudget)
+			explored = idx.Blocks()
+		} else {
+			// Device could not hold the coarse working set after all:
+			// downgrade to the fine path.
+			s.mu.Lock()
+			s.stats.CoarseFallbacks++
+			s.mu.Unlock()
+			plan.Query = query.KindDIPR
+			plan.Index = query.IndexFine
+		}
+	}
+	if plan.Query == query.KindDIPR {
+		retrieved, explored = s.executeDIPR(plan, layer, qHead, kv, q)
+	}
+
+	out, attended := s.sparseOutput(plan, layer, kv, q, n, retrieved)
+	return AttentionResult{
+		Output:       out,
+		Plan:         plan,
+		Retrieved:    len(retrieved),
+		RetrievedIDs: retrieved,
+		Explored:     explored,
+		Attended:     attended,
+	}
+}
+
+// executeDIPR retrieves the β-critical set from the reused prefix via the
+// planned index. The attended set is bounded to an eighth of the prefix
+// (min 64): diffuse heads' β-bands can span much of the context, and like
+// InfLLM's block budget, production retrieval is bounded.
+func (s *Session) executeDIPR(plan query.Plan, layer, qHead, kv int, q []float32) ([]int, int) {
+	if s.base == nil || s.reuseLen == 0 {
+		return nil, 0
+	}
+	beta := s.db.cfg.Beta
+	limit := s.reuseLen
+	resultCap := limit / 8
+	if resultCap < 64 {
+		resultCap = 64
+	}
+
+	if plan.Index == query.IndexFlat {
+		fx := flat.New(s.base.cache.Keys(layer, kv), s.db.cfg.Workers)
+		cands, _ := fx.DIPRFiltered(q, beta, limit)
+		if len(cands) > resultCap {
+			cands = cands[:resultCap] // best-first: keep the top of the band
+		}
+		return index.IDs(cands), limit
+	}
+
+	g := s.base.Graph(s.db, layer, qHead)
+	if g == nil {
+		s.mu.Lock()
+		s.stats.FlatFallbacks++
+		s.mu.Unlock()
+		fx := flat.New(s.base.cache.Keys(layer, kv), s.db.cfg.Workers)
+		cands, _ := fx.DIPRFiltered(q, beta, limit)
+		if len(cands) > resultCap {
+			cands = cands[:resultCap]
+		}
+		return index.IDs(cands), limit
+	}
+
+	cfg := query.DIPRSConfig{Beta: beta, MaxResults: resultCap, MaxExplore: 4 * resultCap}
+	// Window-cache enhancement (§7.1): seed the running maximum with the
+	// best inner product inside the device window's prefix part.
+	winPrefix, _ := s.windowSplit(s.ContextLen(layer))
+	if max, ok := query.WindowMax(q, s.base.cache.Keys(layer, kv), winPrefix); ok {
+		cfg.InitialMax = max
+		cfg.HasInitialMax = true
+	}
+	if plan.Filtered {
+		lim := int32(limit)
+		cfg.Filter = func(id int32) bool { return id < lim }
+	}
+	res := query.DIPRS(g, q, cfg)
+	ids := make([]int, 0, len(res.Critical))
+	for _, c := range res.Critical {
+		if int(c.ID) < limit { // unfiltered plans may index beyond the prefix
+			ids = append(ids, int(c.ID))
+		}
+	}
+	return ids, res.Explored
+}
+
+// windowSplit returns the device window's token positions split into the
+// reused-prefix part and the tail part (as tail-local positions).
+func (s *Session) windowSplit(n int) (prefix, tailLocal []int) {
+	for _, i := range s.db.cfg.Window.Indices(n) {
+		if i < s.reuseLen {
+			prefix = append(prefix, i)
+		} else {
+			tailLocal = append(tailLocal, i-s.reuseLen)
+		}
+	}
+	return prefix, tailLocal
+}
+
+// sparseOutput merges partial attention over (i) the retrieved and
+// windowed positions of the reused prefix and (ii) the session tail, each
+// computed where the data resides (§7.2 data-centric attention).
+func (s *Session) sparseOutput(plan query.Plan, layer, kv int, q []float32, n int, retrieved []int) ([]float32, int) {
+	winPrefix, _ := s.windowSplit(n)
+
+	var prefixIdx []int
+	if plan.Query == query.KindFull {
+		limit := s.reuseLen
+		prefixIdx = make([]int, limit)
+		for i := range prefixIdx {
+			prefixIdx[i] = i
+		}
+	} else {
+		seen := make(map[int]bool, len(retrieved)+len(winPrefix))
+		for _, i := range winPrefix {
+			seen[i] = true
+			prefixIdx = append(prefixIdx, i)
+		}
+		for _, i := range retrieved {
+			if !seen[i] {
+				seen[i] = true
+				prefixIdx = append(prefixIdx, i)
+			}
+		}
+	}
+
+	tailLen := s.tail.SeqLen(layer)
+	tailIdx := make([]int, tailLen)
+	for i := range tailIdx {
+		tailIdx[i] = i
+	}
+
+	var prefixPart, tailPart attention.Partial
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if s.base != nil && len(prefixIdx) > 0 {
+			prefixPart = attention.Over(q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+		} else {
+			prefixPart = attention.Partial{Output: make([]float32, len(q)), LSE: math.Inf(-1)}
+		}
+	}()
+	tailPart = attention.Over(q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), tailIdx)
+	wg.Wait()
+
+	return attention.Merge(prefixPart, tailPart), len(prefixIdx) + tailLen
+}
+
+// coarseIndex lazily builds (and device-registers) the coarse index for
+// (layer, kvHead) over the reused context. Returns false if the device
+// cannot hold the working set.
+func (s *Session) coarseIndex(layer, kv int) (*coarse.Index, bool) {
+	if s.base == nil {
+		return nil, false
+	}
+	key := layer*s.db.cfg.Model.Config().KVHeads + kv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ix, ok := s.coarseIx[key]; ok {
+		return ix, ix != nil
+	}
+	ix := coarse.New(s.base.cache.Keys(layer, kv), 128, coarse.Mean)
+	mc := s.db.cfg.Model.Config()
+	need := ix.RepresentativeBytes() + int64(s.db.cfg.CoarseBudget)*int64(mc.HeadDim)*4*2
+	h, err := s.db.cfg.Device.Alloc(need, devmem.BlockCache)
+	if err != nil {
+		s.coarseIx[key] = nil // remember the failure
+		return nil, false
+	}
+	s.coarseIx[key] = ix
+	s.coarseH[key] = h
+	return ix, true
+}
+
+// materialize produces the session's full document and KV cache for
+// DB.Store.
+func (s *Session) materialize() (*model.Document, *kvcache.Cache, error) {
+	mc := s.db.cfg.Model.Config()
+	out := kvcache.New(mc.Layers, mc.KVHeads, mc.HeadDim)
+	for l := 0; l < mc.Layers; l++ {
+		if got := s.ContextLen(l); got != s.doc.Len() {
+			return nil, nil, fmt.Errorf("core: layer %d holds %d of %d tokens; prefill before storing", l, got, s.doc.Len())
+		}
+		for h := 0; h < mc.KVHeads; h++ {
+			if s.base != nil {
+				bk, bv := s.base.cache.Keys(l, h), s.base.cache.Values(l, h)
+				for i := 0; i < s.reuseLen; i++ {
+					out.Append(l, h, bk.Row(i), bv.Row(i))
+				}
+			}
+			tk, tv := s.tail.Keys(l, h), s.tail.Values(l, h)
+			for i := 0; i < tk.Rows(); i++ {
+				out.Append(l, h, tk.Row(i), tv.Row(i))
+			}
+		}
+	}
+	doc := &model.Document{Seed: s.doc.Seed, Tokens: append([]model.Token(nil), s.doc.Tokens...)}
+	return doc, out, nil
+}
+
+// Close releases the session's device registrations. Double closes are
+// rejected.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: session already closed")
+	}
+	s.closed = true
+	if s.windowH >= 0 {
+		if err := s.db.cfg.Device.Free(s.windowH); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.coarseH {
+		if err := s.db.cfg.Device.Free(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package flat implements the flat index of §6.2: an exhaustive scan over
+// all keys. It consumes no device memory, benefits from sequential access,
+// and — unlike the coarse index — is exact. The optimizer routes layer-1
+// DIPR queries here because the first layer's diffuse heads need so many
+// tokens that graph traversal would be slower than a scan (Table 4).
+package flat
+
+import (
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// Index scans a key matrix. It holds a reference to the matrix (no copy);
+// the matrix must not shrink while the index is in use. Appending rows is
+// allowed — the scan reads the current length.
+type Index struct {
+	keys *vec.Matrix
+	// Workers bounds scan parallelism; 0 means single-threaded.
+	workers int
+}
+
+// New returns a flat index over keys with the given parallelism (workers
+// <= 1 means serial).
+func New(keys *vec.Matrix, workers int) *Index {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Index{keys: keys, workers: workers}
+}
+
+// Len returns the number of indexed vectors.
+func (x *Index) Len() int { return x.keys.Rows() }
+
+// TopK returns the k highest-inner-product candidates, best first.
+func (x *Index) TopK(q []float32, k int) []index.Candidate {
+	n := x.keys.Rows()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	if x.workers == 1 || n < 4096 {
+		h := make(index.MinHeap, 0, k)
+		x.scanRange(q, 0, n, func(id int32, score float32) {
+			h.PushBounded(index.Candidate{ID: id, Score: score}, k)
+		})
+		return h.Sorted()
+	}
+	// Parallel: each worker selects a local top-k; merge.
+	locals := make([]index.MinHeap, x.workers)
+	var wg sync.WaitGroup
+	chunk := (n + x.workers - 1) / x.workers
+	for w := 0; w < x.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := make(index.MinHeap, 0, k)
+			x.scanRange(q, lo, hi, func(id int32, score float32) {
+				h.PushBounded(index.Candidate{ID: id, Score: score}, k)
+			})
+			locals[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := make(index.MinHeap, 0, k)
+	for _, h := range locals {
+		for _, c := range h {
+			merged.PushBounded(c, k)
+		}
+	}
+	return merged.Sorted()
+}
+
+// DIPR returns all candidates whose inner product is within beta of the
+// maximum inner product over the whole index — the exact result of the
+// Dynamic Inner-Product Range query (Definition 3). The result is sorted
+// best first. It also returns the maximum inner product found.
+func (x *Index) DIPR(q []float32, beta float32) ([]index.Candidate, float32) {
+	return x.DIPRFiltered(q, beta, x.keys.Rows())
+}
+
+// DIPRFiltered is DIPR restricted to positions < limit (the attribute
+// filtering predicate of §7.1: token id below the reused prefix length).
+func (x *Index) DIPRFiltered(q []float32, beta float32, limit int) ([]index.Candidate, float32) {
+	n := x.keys.Rows()
+	if limit < n {
+		n = limit
+	}
+	if n <= 0 {
+		return nil, 0
+	}
+	scores := make([]float32, n)
+	best := float32(0)
+	scan := func(lo, hi int) float32 {
+		localBest := vec.Dot(q, x.keys.Row(lo))
+		scores[lo] = localBest
+		for i := lo + 1; i < hi; i++ {
+			s := vec.Dot(q, x.keys.Row(i))
+			scores[i] = s
+			if s > localBest {
+				localBest = s
+			}
+		}
+		return localBest
+	}
+	if x.workers == 1 || n < 4096 {
+		best = scan(0, n)
+	} else {
+		bests := make([]float32, x.workers)
+		var wg sync.WaitGroup
+		chunk := (n + x.workers - 1) / x.workers
+		for w := 0; w < x.workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				bests[w] = scores[0] // placeholder, overwritten below if empty
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				bests[w] = scan(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		best = bests[0]
+		for _, b := range bests[1:] {
+			if b > best {
+				best = b
+			}
+		}
+	}
+	threshold := best - beta
+	var out index.MinHeap
+	for i := 0; i < n; i++ {
+		if scores[i] >= threshold {
+			out = append(out, index.Candidate{ID: int32(i), Score: scores[i]})
+		}
+	}
+	// Heapify then drain for a best-first ordering.
+	h := out
+	res := make(index.MinHeap, 0, len(h))
+	for _, c := range h {
+		res.PushBounded(c, len(h))
+	}
+	return res.Sorted(), best
+}
+
+func (x *Index) scanRange(q []float32, lo, hi int, emit func(int32, float32)) {
+	for i := lo; i < hi; i++ {
+		emit(int32(i), vec.Dot(q, x.keys.Row(i)))
+	}
+}

@@ -1,0 +1,222 @@
+package flat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+func randomKeys(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = rng.Float32()*2 - 1
+		}
+	}
+	return m
+}
+
+// naiveTopK is the reference implementation.
+func naiveTopK(q []float32, keys *vec.Matrix, k int) []index.Candidate {
+	n := keys.Rows()
+	all := make([]index.Candidate, n)
+	for i := 0; i < n; i++ {
+		all[i] = index.Candidate{ID: int32(i), Score: vec.Dot(q, keys.Row(i))}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	if k > n {
+		k = n
+	}
+	return all[:k]
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, workers := range []int{1, 4} {
+		for _, n := range []int{1, 7, 100, 5000} {
+			keys := randomKeys(rng, n, 16)
+			x := New(keys, workers)
+			q := make([]float32, 16)
+			for j := range q {
+				q[j] = rng.Float32()*2 - 1
+			}
+			for _, k := range []int{1, 5, n} {
+				got := x.TopK(q, k)
+				want := naiveTopK(q, keys, k)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d n=%d k=%d: got %d candidates, want %d", workers, n, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Score != want[i].Score {
+						t.Fatalf("workers=%d n=%d k=%d: rank %d score %v != %v",
+							workers, n, k, i, got[i].Score, want[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randomKeys(rng, 10, 8)
+	x := New(keys, 1)
+	q := make([]float32, 8)
+	if got := x.TopK(q, 0); got != nil {
+		t.Errorf("TopK(0) = %v", got)
+	}
+	if got := x.TopK(q, 100); len(got) != 10 {
+		t.Errorf("TopK(k>n) returned %d", len(got))
+	}
+	if x.Len() != 10 {
+		t.Errorf("Len = %d", x.Len())
+	}
+}
+
+func TestDIPRExactness(t *testing.T) {
+	// Property: DIPR returns exactly the candidates within beta of the max.
+	rng := rand.New(rand.NewSource(3))
+	keys := randomKeys(rng, 500, 8)
+	for _, workers := range []int{1, 4} {
+		x := New(keys, workers)
+		f := func(qi [8]int8, betaRaw uint8) bool {
+			q := make([]float32, 8)
+			for j := range q {
+				q[j] = float32(qi[j]) / 16
+			}
+			beta := float32(betaRaw) / 64
+			got, best := x.DIPR(q, beta)
+			// Reference: compute all scores.
+			inSet := make(map[int32]bool, len(got))
+			prev := float32(1e30)
+			for _, c := range got {
+				if c.Score > prev {
+					return false // not sorted best-first
+				}
+				prev = c.Score
+				inSet[c.ID] = true
+			}
+			trueBest := vec.Dot(q, keys.Row(0))
+			for i := 1; i < 500; i++ {
+				if s := vec.Dot(q, keys.Row(i)); s > trueBest {
+					trueBest = s
+				}
+			}
+			if trueBest != best {
+				return false
+			}
+			for i := 0; i < 500; i++ {
+				s := vec.Dot(q, keys.Row(i))
+				if (s >= best-beta) != inSet[int32(i)] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestDIPRBetaZeroReturnsMaxOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	keys := randomKeys(rng, 200, 8)
+	x := New(keys, 1)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = rng.Float32()
+	}
+	got, best := x.DIPR(q, 0)
+	if len(got) < 1 {
+		t.Fatal("DIPR(0) returned nothing")
+	}
+	if got[0].Score != best {
+		t.Errorf("top score %v != best %v", got[0].Score, best)
+	}
+	for _, c := range got {
+		if c.Score != best {
+			t.Errorf("beta=0 returned non-max candidate score %v (best %v)", c.Score, best)
+		}
+	}
+}
+
+func TestDIPRFiltered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := randomKeys(rng, 300, 8)
+	x := New(keys, 1)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	limit := 120
+	got, best := x.DIPRFiltered(q, 0.5, limit)
+	for _, c := range got {
+		if int(c.ID) >= limit {
+			t.Fatalf("filtered DIPR returned id %d >= limit %d", c.ID, limit)
+		}
+	}
+	// best must be the max within the limit only.
+	trueBest := vec.Dot(q, keys.Row(0))
+	for i := 1; i < limit; i++ {
+		if s := vec.Dot(q, keys.Row(i)); s > trueBest {
+			trueBest = s
+		}
+	}
+	if best != trueBest {
+		t.Errorf("filtered best = %v, want %v", best, trueBest)
+	}
+}
+
+func TestDIPREmptyIndex(t *testing.T) {
+	x := New(vec.NewMatrix(0, 4), 1)
+	got, _ := x.DIPR([]float32{1, 2, 3, 4}, 1)
+	if got != nil {
+		t.Errorf("DIPR on empty = %v", got)
+	}
+}
+
+func TestParallelDIPRMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := randomKeys(rng, 9000, 16) // above the parallel threshold
+	serial := New(keys, 1)
+	parallel := New(keys, 4)
+	q := make([]float32, 16)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	a, bestA := serial.DIPR(q, 1.5)
+	b, bestB := parallel.DIPR(q, 1.5)
+	if bestA != bestB {
+		t.Fatalf("best differs: %v vs %v", bestA, bestB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("rank %d differs: %d vs %d", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+func TestIndexSeesAppendedRows(t *testing.T) {
+	keys := vec.NewMatrix(0, 4)
+	keys.Append([]float32{1, 0, 0, 0})
+	x := New(keys, 1)
+	if x.Len() != 1 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	keys.Append([]float32{0, 1, 0, 0})
+	if x.Len() != 2 {
+		t.Errorf("Len after append = %d, want 2", x.Len())
+	}
+	got := x.TopK([]float32{0, 1, 0, 0}, 1)
+	if got[0].ID != 1 {
+		t.Errorf("TopK missed appended row: %v", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package index defines the vocabulary shared by AlayaDB's index
+// implementations (§6.2): candidates scored by inner product, the common
+// Searcher interface, and small heap utilities for top-k selection.
+//
+// Three index families implement Searcher, mirroring Table 4 of the paper:
+//
+//   - flat  (internal/index/flat):   exhaustive scan; no device memory,
+//     medium latency at any k.
+//   - coarse (internal/index/coarse): block-grained representatives kept on
+//     device; low latency, large memory.
+//   - graph (internal/index/graph):  fine-grained RoarGraph-like proximity
+//     graph; low latency at small k, supports DIPR traversal.
+package index
+
+import "container/heap"
+
+// Candidate is a scored token position. Score is the raw inner product
+// q·kᵀ (not scaled by √d; scaling is monotone and applied by attention).
+type Candidate struct {
+	ID    int32
+	Score float32
+}
+
+// Searcher is the query-facing interface of every index type.
+type Searcher interface {
+	// TopK returns the k candidates with the highest inner product against
+	// q, best first. Fewer than k are returned if the index is smaller.
+	TopK(q []float32, k int) []Candidate
+	// Len returns the number of indexed vectors.
+	Len() int
+}
+
+// MinHeap is a min-heap of candidates by score: the root is the worst
+// candidate, so it supports streaming top-k selection.
+type MinHeap []Candidate
+
+func (h MinHeap) Len() int            { return len(h) }
+func (h MinHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h MinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *MinHeap) Push(x interface{}) { *h = append(*h, x.(Candidate)) }
+func (h *MinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// PushBounded inserts c keeping at most k elements: once full, c replaces
+// the root only if it scores higher.
+func (h *MinHeap) PushBounded(c Candidate, k int) {
+	if k <= 0 {
+		return
+	}
+	if h.Len() < k {
+		heap.Push(h, c)
+		return
+	}
+	if c.Score > (*h)[0].Score {
+		(*h)[0] = c
+		heap.Fix(h, 0)
+	}
+}
+
+// Sorted drains the heap and returns candidates best-first. The heap is
+// emptied.
+func (h *MinHeap) Sorted() []Candidate {
+	out := make([]Candidate, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Candidate)
+	}
+	return out
+}
+
+// MaxHeap is a max-heap of candidates by score: the root is the best
+// candidate, used as a search frontier.
+type MaxHeap []Candidate
+
+func (h MaxHeap) Len() int            { return len(h) }
+func (h MaxHeap) Less(i, j int) bool  { return h[i].Score > h[j].Score }
+func (h MaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *MaxHeap) Push(x interface{}) { *h = append(*h, x.(Candidate)) }
+func (h *MaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// IDs extracts the token positions of candidates as ints, preserving order.
+func IDs(cs []Candidate) []int {
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = int(c.ID)
+	}
+	return out
+}

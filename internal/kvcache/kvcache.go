@@ -1,0 +1,122 @@
+// Package kvcache implements the key/value cache that a decoder-only
+// transformer accumulates during inference (§2 of the paper). The layout is
+// one contiguous row-major matrix per (layer, kv-head) pair, which is the
+// same logical shape HuggingFace's DynamicCache exposes and what AlayaDB's
+// Session.Update ingests.
+package kvcache
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// Cache holds K and V matrices for every (layer, kv-head) pair. Tokens are
+// appended in lockstep across heads of a layer; layers may momentarily
+// differ in length during a prefill sweep.
+//
+// Cache is not safe for concurrent mutation; concurrent reads are fine.
+type Cache struct {
+	layers  int
+	kvHeads int
+	headDim int
+	keys    []*vec.Matrix // indexed by layer*kvHeads + head
+	values  []*vec.Matrix
+}
+
+// New returns an empty cache for the given model shape.
+func New(layers, kvHeads, headDim int) *Cache {
+	if layers <= 0 || kvHeads <= 0 || headDim <= 0 {
+		panic(fmt.Sprintf("kvcache: invalid shape layers=%d kvHeads=%d headDim=%d", layers, kvHeads, headDim))
+	}
+	c := &Cache{
+		layers:  layers,
+		kvHeads: kvHeads,
+		headDim: headDim,
+		keys:    make([]*vec.Matrix, layers*kvHeads),
+		values:  make([]*vec.Matrix, layers*kvHeads),
+	}
+	for i := range c.keys {
+		c.keys[i] = vec.NewMatrix(0, headDim)
+		c.values[i] = vec.NewMatrix(0, headDim)
+	}
+	return c
+}
+
+// Layers returns the number of layers.
+func (c *Cache) Layers() int { return c.layers }
+
+// KVHeads returns the number of key/value heads per layer.
+func (c *Cache) KVHeads() int { return c.kvHeads }
+
+// HeadDim returns the per-head vector dimensionality.
+func (c *Cache) HeadDim() int { return c.headDim }
+
+func (c *Cache) idx(layer, head int) int {
+	if layer < 0 || layer >= c.layers || head < 0 || head >= c.kvHeads {
+		panic(fmt.Sprintf("kvcache: (layer=%d, head=%d) out of range %dx%d", layer, head, c.layers, c.kvHeads))
+	}
+	return layer*c.kvHeads + head
+}
+
+// Append adds one token's key and value vectors for the given layer/head and
+// returns the token's position index within that head.
+func (c *Cache) Append(layer, head int, k, v []float32) int {
+	i := c.idx(layer, head)
+	pos := c.keys[i].Append(k)
+	c.values[i].Append(v)
+	return pos
+}
+
+// AppendAll appends per-head key and value vectors for one token across all
+// heads of a layer. ks and vs must have length KVHeads().
+func (c *Cache) AppendAll(layer int, ks, vs [][]float32) {
+	if len(ks) != c.kvHeads || len(vs) != c.kvHeads {
+		panic(fmt.Sprintf("kvcache: AppendAll got %d/%d heads, want %d", len(ks), len(vs), c.kvHeads))
+	}
+	for h := 0; h < c.kvHeads; h++ {
+		c.Append(layer, h, ks[h], vs[h])
+	}
+}
+
+// Keys returns the key matrix for (layer, head). The matrix aliases cache
+// storage; callers must not mutate it.
+func (c *Cache) Keys(layer, head int) *vec.Matrix { return c.keys[c.idx(layer, head)] }
+
+// Values returns the value matrix for (layer, head), aliasing cache storage.
+func (c *Cache) Values(layer, head int) *vec.Matrix { return c.values[c.idx(layer, head)] }
+
+// SeqLen returns the number of tokens stored for the given layer (taken from
+// head 0; heads of a layer always advance together through AppendAll).
+func (c *Cache) SeqLen(layer int) int { return c.keys[c.idx(layer, 0)].Rows() }
+
+// Bytes returns the total in-memory footprint of all K and V payloads.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.keys {
+		n += c.keys[i].Bytes() + c.values[i].Bytes()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the cache.
+func (c *Cache) Clone() *Cache {
+	out := &Cache{layers: c.layers, kvHeads: c.kvHeads, headDim: c.headDim,
+		keys: make([]*vec.Matrix, len(c.keys)), values: make([]*vec.Matrix, len(c.values))}
+	for i := range c.keys {
+		out.keys[i] = c.keys[i].Clone()
+		out.values[i] = c.values[i].Clone()
+	}
+	return out
+}
+
+// Truncate drops all tokens at position >= n in every layer and head. It is
+// used to roll a cache back to a reusable prefix.
+func (c *Cache) Truncate(n int) {
+	for i := range c.keys {
+		if c.keys[i].Rows() > n {
+			c.keys[i] = c.keys[i].Slice(0, n).Clone()
+			c.values[i] = c.values[i].Slice(0, n).Clone()
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package kvcache
+
+import "testing"
+
+func mk(t *testing.T) *Cache {
+	t.Helper()
+	return New(2, 2, 4)
+}
+
+func TestShape(t *testing.T) {
+	c := mk(t)
+	if c.Layers() != 2 || c.KVHeads() != 2 || c.HeadDim() != 4 {
+		t.Fatalf("shape = %d/%d/%d", c.Layers(), c.KVHeads(), c.HeadDim())
+	}
+	if c.SeqLen(0) != 0 {
+		t.Errorf("empty SeqLen = %d", c.SeqLen(0))
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero layers")
+		}
+	}()
+	New(0, 1, 4)
+}
+
+func TestAppendAndRead(t *testing.T) {
+	c := mk(t)
+	k := []float32{1, 2, 3, 4}
+	v := []float32{5, 6, 7, 8}
+	pos := c.Append(0, 1, k, v)
+	if pos != 0 {
+		t.Errorf("first pos = %d", pos)
+	}
+	if got := c.Keys(0, 1).Row(0)[3]; got != 4 {
+		t.Errorf("key readback = %v", got)
+	}
+	if got := c.Values(0, 1).Row(0)[0]; got != 5 {
+		t.Errorf("value readback = %v", got)
+	}
+	// Head 0 of the same layer is untouched.
+	if c.Keys(0, 0).Rows() != 0 {
+		t.Error("append leaked across heads")
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	c := mk(t)
+	ks := [][]float32{{1, 1, 1, 1}, {2, 2, 2, 2}}
+	vs := [][]float32{{3, 3, 3, 3}, {4, 4, 4, 4}}
+	c.AppendAll(1, ks, vs)
+	if c.SeqLen(1) != 1 {
+		t.Fatalf("SeqLen = %d", c.SeqLen(1))
+	}
+	if c.Keys(1, 1).Row(0)[0] != 2 {
+		t.Error("head-1 key wrong")
+	}
+}
+
+func TestAppendAllWrongHeadsPanics(t *testing.T) {
+	c := mk(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong head count")
+		}
+	}()
+	c.AppendAll(0, [][]float32{{1, 1, 1, 1}}, [][]float32{{1, 1, 1, 1}})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	c := mk(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for layer out of range")
+		}
+	}()
+	c.Keys(2, 0)
+}
+
+func TestBytes(t *testing.T) {
+	c := mk(t)
+	c.AppendAll(0, [][]float32{{1, 1, 1, 1}, {1, 1, 1, 1}}, [][]float32{{1, 1, 1, 1}, {1, 1, 1, 1}})
+	// 2 heads * (K+V) * 4 floats * 4 bytes = 64.
+	if got := c.Bytes(); got != 64 {
+		t.Errorf("Bytes = %d, want 64", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := mk(t)
+	c.AppendAll(0, [][]float32{{1, 1, 1, 1}, {1, 1, 1, 1}}, [][]float32{{1, 1, 1, 1}, {1, 1, 1, 1}})
+	d := c.Clone()
+	d.Keys(0, 0).Row(0)[0] = 99
+	if c.Keys(0, 0).Row(0)[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := mk(t)
+	for i := 0; i < 5; i++ {
+		f := float32(i)
+		row := []float32{f, f, f, f}
+		c.AppendAll(0, [][]float32{row, row}, [][]float32{row, row})
+		c.AppendAll(1, [][]float32{row, row}, [][]float32{row, row})
+	}
+	c.Truncate(3)
+	for l := 0; l < 2; l++ {
+		if got := c.SeqLen(l); got != 3 {
+			t.Errorf("layer %d SeqLen after truncate = %d, want 3", l, got)
+		}
+	}
+	if c.Keys(0, 0).Row(2)[0] != 2 {
+		t.Error("truncate lost data")
+	}
+	// Truncating beyond length is a no-op.
+	c.Truncate(10)
+	if c.SeqLen(0) != 3 {
+		t.Error("over-truncate changed length")
+	}
+}

@@ -1,0 +1,166 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"repro/internal/vec"
+)
+
+// PagedCache is the paged KV layout used by coupled-architecture inference
+// engines (vLLM's PagedAttention [42]): tokens live in fixed-size pages
+// allocated from a shared pool, with a per-(layer, head) page table mapping
+// logical positions to pages. It exists as the memory model of the
+// coupled baseline the paper's §3 analyses — page-granular allocation
+// bounds fragmentation but keeps the whole context resident on device,
+// which is exactly the consumption AlayaDB's decoupling avoids.
+//
+// PagedCache is not safe for concurrent mutation.
+type PagedCache struct {
+	layers   int
+	kvHeads  int
+	headDim  int
+	pageSize int // tokens per page
+
+	// pool is the shared page pool; each page holds keys then values
+	// contiguously: pageSize rows of keys, then pageSize rows of values.
+	pool     []*vec.Matrix
+	freelist []int
+
+	// tables maps (layer*kvHeads+head) to its ordered page list.
+	tables [][]int
+	length []int // tokens stored per (layer, head)
+}
+
+// NewPaged returns an empty paged cache.
+func NewPaged(layers, kvHeads, headDim, pageSize int) *PagedCache {
+	if layers <= 0 || kvHeads <= 0 || headDim <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("kvcache: invalid paged shape %d/%d/%d/%d", layers, kvHeads, headDim, pageSize))
+	}
+	return &PagedCache{
+		layers:   layers,
+		kvHeads:  kvHeads,
+		headDim:  headDim,
+		pageSize: pageSize,
+		tables:   make([][]int, layers*kvHeads),
+		length:   make([]int, layers*kvHeads),
+	}
+}
+
+func (c *PagedCache) idx(layer, head int) int {
+	if layer < 0 || layer >= c.layers || head < 0 || head >= c.kvHeads {
+		panic(fmt.Sprintf("kvcache: paged (layer=%d, head=%d) out of range", layer, head))
+	}
+	return layer*c.kvHeads + head
+}
+
+// allocPage takes a page from the freelist or grows the pool.
+func (c *PagedCache) allocPage() int {
+	if n := len(c.freelist); n > 0 {
+		id := c.freelist[n-1]
+		c.freelist = c.freelist[:n-1]
+		return id
+	}
+	c.pool = append(c.pool, vec.NewMatrix(2*c.pageSize, c.headDim))
+	return len(c.pool) - 1
+}
+
+// Append adds one token's key and value for (layer, head), allocating a
+// page when the current one fills. Returns the token's position.
+func (c *PagedCache) Append(layer, head int, k, v []float32) int {
+	if len(k) != c.headDim || len(v) != c.headDim {
+		panic(fmt.Sprintf("kvcache: paged append dim %d/%d, want %d", len(k), len(v), c.headDim))
+	}
+	i := c.idx(layer, head)
+	pos := c.length[i]
+	slot := pos % c.pageSize
+	if slot == 0 {
+		c.tables[i] = append(c.tables[i], c.allocPage())
+	}
+	page := c.pool[c.tables[i][pos/c.pageSize]]
+	page.SetRow(slot, k)
+	page.SetRow(c.pageSize+slot, v)
+	c.length[i] = pos + 1
+	return pos
+}
+
+// Key returns the key vector at position pos (aliasing page storage).
+func (c *PagedCache) Key(layer, head, pos int) []float32 {
+	i := c.idx(layer, head)
+	if pos < 0 || pos >= c.length[i] {
+		panic(fmt.Sprintf("kvcache: paged key %d out of range [0,%d)", pos, c.length[i]))
+	}
+	return c.pool[c.tables[i][pos/c.pageSize]].Row(pos % c.pageSize)
+}
+
+// Value returns the value vector at position pos (aliasing page storage).
+func (c *PagedCache) Value(layer, head, pos int) []float32 {
+	i := c.idx(layer, head)
+	if pos < 0 || pos >= c.length[i] {
+		panic(fmt.Sprintf("kvcache: paged value %d out of range [0,%d)", pos, c.length[i]))
+	}
+	return c.pool[c.tables[i][pos/c.pageSize]].Row(c.pageSize + pos%c.pageSize)
+}
+
+// SeqLen returns the tokens stored for (layer, head 0).
+func (c *PagedCache) SeqLen(layer int) int { return c.length[c.idx(layer, 0)] }
+
+// Gather materializes contiguous key and value matrices for (layer, head),
+// e.g. to hand a page-fragmented context to an index build.
+func (c *PagedCache) Gather(layer, head int) (keys, values *vec.Matrix) {
+	i := c.idx(layer, head)
+	n := c.length[i]
+	keys = vec.NewMatrix(n, c.headDim)
+	values = vec.NewMatrix(n, c.headDim)
+	for pos := 0; pos < n; pos++ {
+		keys.SetRow(pos, c.Key(layer, head, pos))
+		values.SetRow(pos, c.Value(layer, head, pos))
+	}
+	return keys, values
+}
+
+// Truncate drops tokens at position >= n for (layer, head), returning
+// fully freed pages to the pool.
+func (c *PagedCache) Truncate(layer, head, n int) {
+	i := c.idx(layer, head)
+	if n >= c.length[i] {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	needPages := (n + c.pageSize - 1) / c.pageSize
+	for _, page := range c.tables[i][needPages:] {
+		c.freelist = append(c.freelist, page)
+	}
+	c.tables[i] = c.tables[i][:needPages]
+	c.length[i] = n
+}
+
+// Stats reports the pool's utilisation: the fragmentation PagedAttention
+// bounds to under one page per sequence.
+type PagedStats struct {
+	Pages      int   // allocated pages (pool size)
+	FreePages  int   // pages in the freelist
+	Tokens     int   // live tokens across all heads
+	PoolBytes  int64 // total pool footprint
+	WasteBytes int64 // allocated-but-unused bytes in partially filled pages
+}
+
+// Stats returns current pool statistics.
+func (c *PagedCache) Stats() PagedStats {
+	perPageBytes := int64(2*c.pageSize) * int64(c.headDim) * 4
+	st := PagedStats{
+		Pages:     len(c.pool),
+		FreePages: len(c.freelist),
+		PoolBytes: int64(len(c.pool)) * perPageBytes,
+	}
+	for i, table := range c.tables {
+		st.Tokens += c.length[i]
+		if len(table) > 0 {
+			lastUsed := c.length[i] - (len(table)-1)*c.pageSize
+			st.WasteBytes += int64(c.pageSize-lastUsed) * int64(c.headDim) * 4 * 2
+		}
+	}
+	st.WasteBytes += int64(len(c.freelist)) * perPageBytes
+	return st
+}

@@ -1,0 +1,143 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func pagedForTest() *PagedCache { return NewPaged(2, 2, 4, 8) }
+
+func TestPagedInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero page size")
+		}
+	}()
+	NewPaged(1, 1, 4, 0)
+}
+
+func TestPagedAppendRead(t *testing.T) {
+	c := pagedForTest()
+	for i := 0; i < 20; i++ { // spans 3 pages of 8
+		f := float32(i)
+		pos := c.Append(0, 1, []float32{f, f, f, f}, []float32{-f, -f, -f, -f})
+		if pos != i {
+			t.Fatalf("pos = %d, want %d", pos, i)
+		}
+	}
+	if c.SeqLen(0) != 0 { // head 0 untouched; SeqLen reads head 0
+		t.Fatalf("SeqLen(layer 0) = %d (head 0 empty)", c.SeqLen(0))
+	}
+	for _, pos := range []int{0, 7, 8, 15, 16, 19} {
+		if got := c.Key(0, 1, pos)[0]; got != float32(pos) {
+			t.Errorf("Key(%d) = %v", pos, got)
+		}
+		if got := c.Value(0, 1, pos)[0]; got != -float32(pos) {
+			t.Errorf("Value(%d) = %v", pos, got)
+		}
+	}
+}
+
+func TestPagedOutOfRangePanics(t *testing.T) {
+	c := pagedForTest()
+	c.Append(0, 0, []float32{1, 1, 1, 1}, []float32{1, 1, 1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range read")
+		}
+	}()
+	c.Key(0, 0, 5)
+}
+
+func TestPagedWrongDimPanics(t *testing.T) {
+	c := pagedForTest()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong dim")
+		}
+	}()
+	c.Append(0, 0, []float32{1}, []float32{1})
+}
+
+func TestPagedGatherMatchesContiguous(t *testing.T) {
+	c := pagedForTest()
+	ref := New(2, 2, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 37; i++ {
+		k := []float32{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()}
+		v := []float32{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()}
+		c.Append(1, 0, k, v)
+		ref.Append(1, 0, k, v)
+	}
+	keys, values := c.Gather(1, 0)
+	if keys.Rows() != 37 || values.Rows() != 37 {
+		t.Fatalf("gather rows = %d/%d", keys.Rows(), values.Rows())
+	}
+	for i := 0; i < 37; i++ {
+		for j := 0; j < 4; j++ {
+			if keys.Row(i)[j] != ref.Keys(1, 0).Row(i)[j] {
+				t.Fatalf("gathered key %d differs", i)
+			}
+			if values.Row(i)[j] != ref.Values(1, 0).Row(i)[j] {
+				t.Fatalf("gathered value %d differs", i)
+			}
+		}
+	}
+}
+
+func TestPagedTruncateFreesPages(t *testing.T) {
+	c := pagedForTest()
+	row := []float32{1, 1, 1, 1}
+	for i := 0; i < 24; i++ { // 3 pages
+		c.Append(0, 0, row, row)
+	}
+	before := c.Stats()
+	if before.Pages != 3 || before.FreePages != 0 {
+		t.Fatalf("stats before truncate = %+v", before)
+	}
+	c.Truncate(0, 0, 9) // keep 2 pages (9 tokens needs 2 pages of 8)
+	after := c.Stats()
+	if after.FreePages != 1 {
+		t.Fatalf("free pages after truncate = %d, want 1", after.FreePages)
+	}
+	if c.SeqLen(0) != 9 {
+		t.Fatalf("SeqLen after truncate = %d", c.SeqLen(0))
+	}
+	// Freed pages are reused by subsequent appends.
+	for i := 0; i < 8; i++ {
+		c.Append(1, 1, row, row)
+	}
+	reused := c.Stats()
+	if reused.Pages != 3 {
+		t.Errorf("pool grew to %d pages; freed page not reused", reused.Pages)
+	}
+	// Truncate to zero and negative clamps.
+	c.Truncate(0, 0, -5)
+	if c.SeqLen(0) != 0 {
+		t.Errorf("SeqLen after truncate(-5) = %d", c.SeqLen(0))
+	}
+	// Truncating beyond the length is a no-op.
+	c.Truncate(1, 1, 100)
+	if got := c.Stats().Tokens; got != 8 {
+		t.Errorf("tokens after no-op truncate = %d", got)
+	}
+}
+
+func TestPagedStatsWaste(t *testing.T) {
+	c := pagedForTest()
+	row := []float32{1, 1, 1, 1}
+	for i := 0; i < 3; i++ { // 3 tokens in an 8-token page: 5 slots wasted
+		c.Append(0, 0, row, row)
+	}
+	st := c.Stats()
+	if st.Tokens != 3 || st.Pages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantWaste := int64(5) * 4 * 4 * 2 // 5 slots * 4 dims * 4 bytes * K+V
+	if st.WasteBytes != wantWaste {
+		t.Errorf("waste = %d, want %d", st.WasteBytes, wantWaste)
+	}
+	if st.PoolBytes != int64(2*8)*4*4 {
+		t.Errorf("pool bytes = %d", st.PoolBytes)
+	}
+}

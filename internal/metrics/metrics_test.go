@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Percentile(50) != 0 || l.Mean() != 0 || l.Max() != 0 {
+		t.Error("empty latency not zero")
+	}
+	if l.SLOAttainment(time.Second) != 0 {
+		t.Error("empty SLO attainment not zero")
+	}
+	if l.MeetsSLO(time.Second) {
+		t.Error("empty recorder meets SLO")
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := l.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestRecordAfterSortedRead(t *testing.T) {
+	var l Latency
+	l.Record(5 * time.Millisecond)
+	_ = l.Percentile(50)
+	l.Record(1 * time.Millisecond)
+	if got := l.Percentile(1); got != time.Millisecond {
+		t.Errorf("p1 after late record = %v", got)
+	}
+}
+
+func TestSLOAttainment(t *testing.T) {
+	var l Latency
+	l.Record(100 * time.Millisecond)
+	l.Record(200 * time.Millisecond)
+	l.Record(300 * time.Millisecond)
+	l.Record(400 * time.Millisecond)
+	if got := l.SLOAttainment(HumanReadingSLO); got != 0.5 {
+		t.Errorf("attainment = %v", got)
+	}
+	if l.MeetsSLO(HumanReadingSLO) {
+		t.Error("p95 400ms meets 240ms SLO")
+	}
+	var fast Latency
+	for i := 0; i < 20; i++ {
+		fast.Record(10 * time.Millisecond)
+	}
+	if !fast.MeetsSLO(HumanReadingSLO) {
+		t.Error("fast recorder fails SLO")
+	}
+}
+
+func TestLatencyString(t *testing.T) {
+	var l Latency
+	l.Record(time.Millisecond)
+	if s := l.String(); s == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	var q Quality
+	if q.Accuracy() != 0 || q.MeanRecovery() != 0 {
+		t.Error("empty quality not zero")
+	}
+	q.Record(true, 0.9)
+	q.Record(false, 0.5)
+	q.Record(true, 0.7)
+	q.Record(true, 0.9)
+	if q.Count() != 4 {
+		t.Errorf("count = %d", q.Count())
+	}
+	if got := q.Accuracy(); got != 75 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := q.MeanRecovery(); got < 0.7499 || got > 0.7501 {
+		t.Errorf("mean recovery = %v", got)
+	}
+}

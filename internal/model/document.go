@@ -1,0 +1,61 @@
+package model
+
+// Token is one position of a synthetic document. Topic determines the key
+// direction (what the token is "about"); Payload determines the value
+// direction (what information the token carries); Salience scales how
+// strongly the key aligns with its topic (1 = fully aligned needle,
+// small values = weakly relevant mention).
+type Token struct {
+	Topic    int
+	Payload  int
+	Salience float32 // 0 means default (1.0)
+}
+
+func (t Token) salienceOrDefault() float32 {
+	if t.Salience == 0 {
+		return 1
+	}
+	return t.Salience
+}
+
+// Document is a synthetic long context: a token sequence plus a seed that
+// namespaces all of the document's idiosyncratic noise. Two documents with
+// equal seeds and token sequences produce byte-identical KV caches.
+type Document struct {
+	Seed   uint64
+	Tokens []Token
+}
+
+// Len returns the number of tokens.
+func (d *Document) Len() int { return len(d.Tokens) }
+
+// NewFiller returns a document of n tokens with topics and payloads drawn
+// uniformly from [0, topics) and [0, vocab). It is the background against
+// which workloads plant critical tokens.
+func NewFiller(seed uint64, n, topics, vocab int) *Document {
+	d := &Document{Seed: seed, Tokens: make([]Token, n)}
+	r := newPRNG(seed, 0xf111e5)
+	for i := range d.Tokens {
+		d.Tokens[i] = Token{Topic: r.intn(topics), Payload: r.intn(vocab)}
+	}
+	return d
+}
+
+// Plant overwrites position pos with a token of the given topic, payload and
+// salience. It panics if pos is out of range.
+func (d *Document) Plant(pos, topic, payload int, salience float32) {
+	d.Tokens[pos] = Token{Topic: topic, Payload: payload, Salience: salience}
+}
+
+// Append adds a token and returns its position.
+func (d *Document) Append(t Token) int {
+	d.Tokens = append(d.Tokens, t)
+	return len(d.Tokens) - 1
+}
+
+// Slice returns a document holding the first n tokens, sharing the seed (so
+// its KV vectors equal the prefix of the original's). The token slice is
+// shared; callers must not mutate it.
+func (d *Document) Slice(n int) *Document {
+	return &Document{Seed: d.Seed, Tokens: d.Tokens[:n]}
+}

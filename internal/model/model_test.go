@@ -1,0 +1,363 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func testModel() *Model {
+	cfg := Default()
+	cfg.Layers = 4
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.HeadDim = 64
+	cfg.Vocab = 32
+	return New(cfg)
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero layers", func(c *Config) { c.Layers = 0 }, false},
+		{"zero qheads", func(c *Config) { c.QHeads = 0 }, false},
+		{"zero kvheads", func(c *Config) { c.KVHeads = 0 }, false},
+		{"gqa mismatch", func(c *Config) { c.QHeads = 6; c.KVHeads = 4 }, false},
+		{"tiny dim", func(c *Config) { c.HeadDim = 4 }, false},
+		{"tiny vocab", func(c *Config) { c.Vocab = 1 }, false},
+		{"negative sinks", func(c *Config) { c.SinkTokens = -1 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Default()
+			tt.mutate(&c)
+			err := c.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestGQAMapping(t *testing.T) {
+	m := testModel() // 4 q heads, 2 kv heads
+	if m.GroupSize() != 2 {
+		t.Fatalf("GroupSize = %d", m.GroupSize())
+	}
+	wants := []int{0, 0, 1, 1}
+	for q, want := range wants {
+		if got := m.KVGroup(q); got != want {
+			t.Errorf("KVGroup(%d) = %d, want %d", q, got, want)
+		}
+	}
+	qs := m.QueryHeadsOf(1)
+	if len(qs) != 2 || qs[0] != 2 || qs[1] != 3 {
+		t.Errorf("QueryHeadsOf(1) = %v", qs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m1 := testModel()
+	m2 := testModel()
+	doc := NewFiller(7, 50, 8, 32)
+	doc2 := NewFiller(7, 50, 8, 32)
+	for pos := 0; pos < 50; pos += 17 {
+		k1 := m1.KeyVector(doc, pos, 1, 0)
+		k2 := m2.KeyVector(doc2, pos, 1, 0)
+		for i := range k1 {
+			if k1[i] != k2[i] {
+				t.Fatalf("key vectors differ at pos %d dim %d", pos, i)
+			}
+		}
+	}
+	q1 := m1.QueryVector(doc, 2, 3, QuerySpec{FocusTopics: []int{1}, Step: 5, ContextLen: 50})
+	q2 := m2.QueryVector(doc2, 2, 3, QuerySpec{FocusTopics: []int{1}, Step: 5, ContextLen: 50})
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatal("query vectors differ")
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// Building KV in one sweep or in two appends yields identical caches.
+	m := testModel()
+	doc := NewFiller(3, 40, 8, 32)
+	whole := m.BuildKV(doc)
+	split := m.BuildKV(doc.Slice(25))
+	m.AppendKV(doc, split, 25, 40)
+	for l := 0; l < m.Config().Layers; l++ {
+		for h := 0; h < m.Config().KVHeads; h++ {
+			a, b := whole.Keys(l, h), split.Keys(l, h)
+			if a.Rows() != b.Rows() {
+				t.Fatalf("rows differ: %d vs %d", a.Rows(), b.Rows())
+			}
+			for r := 0; r < a.Rows(); r++ {
+				ra, rb := a.Row(r), b.Row(r)
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("layer %d head %d row %d differs", l, h, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSharpnessLayout(t *testing.T) {
+	m := New(Default())
+	cfg := m.Config()
+	// Layer 0 is always diffuse.
+	for h := 0; h < cfg.QHeads; h++ {
+		if s := m.Sharpness(0, h); s > 0.1 {
+			t.Errorf("layer 0 head %d sharpness = %v, want <= 0.1", h, s)
+		}
+	}
+	// There exist sharp heads somewhere past layer 0.
+	var sharp, total int
+	for l := 1; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.QHeads; h++ {
+			total++
+			if m.Sharpness(l, h) >= 0.7 {
+				sharp++
+			}
+		}
+	}
+	if sharp == 0 {
+		t.Fatal("no sharp heads assigned")
+	}
+	if sharp == total {
+		t.Fatal("all heads sharp; expected a mixture")
+	}
+	if len(m.RetrievalHeads()) != sharp {
+		t.Errorf("RetrievalHeads count %d != sharp count %d", len(m.RetrievalHeads()), sharp)
+	}
+}
+
+// attnWeights computes full-attention weights of q over the doc's keys at
+// (layer, kvHead) directly from the substrate.
+func attnWeights(m *Model, doc *Document, q []float32, layer, kvHead int) []float32 {
+	n := doc.Len()
+	logits := make([]float32, n)
+	for i := 0; i < n; i++ {
+		logits[i] = vec.ScaledDot(q, m.KeyVector(doc, i, layer, kvHead))
+	}
+	out := make([]float32, n)
+	vec.Softmax(logits, out)
+	return out
+}
+
+func sharpestHead(m *Model) (layer, qHead int) {
+	best := -1.0
+	for l := 1; l < m.Config().Layers; l++ {
+		for h := 0; h < m.Config().QHeads; h++ {
+			if s := m.Sharpness(l, h); s > best {
+				best, layer, qHead = s, l, h
+			}
+		}
+	}
+	return layer, qHead
+}
+
+func TestNeedleDominatesSharpHead(t *testing.T) {
+	m := testModel()
+	const n, questionTopic, answer = 600, 100, 7
+	doc := NewFiller(11, n, 8, 32)
+	needle := n / 2
+	doc.Plant(needle, questionTopic, answer, 1)
+
+	l, h := sharpestHead(m)
+	q := m.QueryVector(doc, l, h, QuerySpec{FocusTopics: []int{questionTopic}, ContextLen: n})
+	w := attnWeights(m, doc, q, l, m.KVGroup(h))
+
+	_, top := vec.Max(w)
+	if top != needle {
+		t.Fatalf("sharp head top token = %d, want needle %d (w[top]=%v w[needle]=%v)",
+			top, needle, w[top], w[needle])
+	}
+	if w[needle] < 0.3 {
+		t.Errorf("needle weight = %v, want >= 0.3 on a sharp head", w[needle])
+	}
+}
+
+func TestDiffuseHeadSpreads(t *testing.T) {
+	m := testModel()
+	const n = 600
+	doc := NewFiller(12, n, 8, 32)
+	doc.Plant(n/2, 100, 7, 1)
+
+	// Layer 0 heads are diffuse by construction.
+	q := m.QueryVector(doc, 0, 0, QuerySpec{FocusTopics: []int{100}, ContextLen: n})
+	w := attnWeights(m, doc, q, 0, 0)
+
+	// Count tokens needed to reach 50% attention mass: must be many.
+	need := tokensForMass(w, 0.5)
+	if need < 10 {
+		t.Errorf("diffuse head reaches 50%% mass with %d tokens; expected spread", need)
+	}
+}
+
+func tokensForMass(w []float32, target float64) int {
+	s := append([]float32(nil), w...)
+	// Simple selection sort on a copy is fine at test sizes.
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] > s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	var acc float64
+	for i, v := range s {
+		acc += float64(v)
+		if acc >= target {
+			return i + 1
+		}
+	}
+	return len(s)
+}
+
+func TestSinkTokensAttractMass(t *testing.T) {
+	m := testModel()
+	const n = 400
+	doc := NewFiller(13, n, 8, 32)
+	// Query with no focus topic: mass should pool on sinks and recency.
+	q := m.QueryVector(doc, 1, 0, QuerySpec{ContextLen: n})
+	w := attnWeights(m, doc, q, 1, 0)
+	var sinkMass float64
+	for i := 0; i < m.Config().SinkTokens; i++ {
+		sinkMass += float64(w[i])
+	}
+	uniform := float64(m.Config().SinkTokens) / n
+	if sinkMass < 5*uniform {
+		t.Errorf("sink mass = %v, want >= 5x uniform (%v)", sinkMass, 5*uniform)
+	}
+}
+
+func TestRecencyAlignment(t *testing.T) {
+	m := testModel()
+	const n = 400
+	doc := NewFiller(14, n, 8, 32)
+	q := m.QueryVector(doc, 1, 0, QuerySpec{ContextLen: n})
+	w := attnWeights(m, doc, q, 1, 0)
+	var lastMass float64
+	for i := n - 8; i < n; i++ {
+		lastMass += float64(w[i])
+	}
+	uniform := 8.0 / n
+	if lastMass < 5*uniform {
+		t.Errorf("recent-token mass = %v, want >= 5x uniform (%v)", lastMass, 5*uniform)
+	}
+}
+
+func TestDecodeAnswerRecoversPayload(t *testing.T) {
+	m := testModel()
+	const n, questionTopic, answer = 600, 100, 19
+	doc := NewFiller(15, n, 8, 32)
+	doc.Plant(n/2, questionTopic, answer, 1)
+
+	var outputs []HeadOutput
+	for _, hr := range m.RetrievalHeads() {
+		kv := m.KVGroup(hr.QHead)
+		q := m.QueryVector(doc, hr.Layer, hr.QHead, QuerySpec{FocusTopics: []int{questionTopic}, ContextLen: n})
+		w := attnWeights(m, doc, q, hr.Layer, kv)
+		o := make([]float32, m.Config().HeadDim)
+		for i := 0; i < n; i++ {
+			vec.Axpy(w[i], m.ValueVector(doc, i, hr.Layer, kv), o)
+		}
+		outputs = append(outputs, HeadOutput{Layer: hr.Layer, QHead: hr.QHead, Output: o})
+	}
+	if got := m.DecodeAnswer(outputs); got != answer {
+		t.Errorf("DecodeAnswer = %d, want %d", got, answer)
+	}
+}
+
+func TestDecodeAnswerEmpty(t *testing.T) {
+	m := testModel()
+	if got := m.DecodeAnswer(nil); got != -1 {
+		t.Errorf("DecodeAnswer(nil) = %d, want -1", got)
+	}
+}
+
+func TestWeightsBytesPositive(t *testing.T) {
+	m := testModel()
+	if m.WeightsBytes() <= 0 {
+		t.Error("WeightsBytes not positive")
+	}
+}
+
+func TestDocumentHelpers(t *testing.T) {
+	d := NewFiller(1, 10, 4, 16)
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	pos := d.Append(Token{Topic: 2, Payload: 3})
+	if pos != 10 || d.Len() != 11 {
+		t.Errorf("Append pos = %d len = %d", pos, d.Len())
+	}
+	s := d.Slice(5)
+	if s.Len() != 5 || s.Seed != d.Seed {
+		t.Errorf("Slice wrong: len=%d seed=%d", s.Len(), s.Seed)
+	}
+	d.Plant(0, 9, 9, 0.5)
+	if d.Tokens[0].Topic != 9 || d.Tokens[0].Salience != 0.5 {
+		t.Error("Plant did not overwrite")
+	}
+}
+
+func TestSalienceDefault(t *testing.T) {
+	if (Token{}).salienceOrDefault() != 1 {
+		t.Error("zero salience should default to 1")
+	}
+	if (Token{Salience: 0.25}).salienceOrDefault() != 0.25 {
+		t.Error("explicit salience ignored")
+	}
+}
+
+func TestPRNGDistribution(t *testing.T) {
+	r := newPRNG(42)
+	var sum, sumSq float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		x := r.norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("norm variance = %v", variance)
+	}
+}
+
+func TestPRNGUnitVec(t *testing.T) {
+	r := newPRNG(43)
+	v := make([]float32, 64)
+	r.unitVec(v)
+	if math.Abs(float64(vec.Norm2(v))-1) > 1e-5 {
+		t.Errorf("unitVec norm = %v", vec.Norm2(v))
+	}
+}
+
+func TestPRNGIntn(t *testing.T) {
+	r := newPRNG(44)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		x := r.intn(7)
+		if x < 0 || x >= 7 {
+			t.Fatalf("intn out of range: %d", x)
+		}
+		seen[x] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("intn covered %d of 7 values", len(seen))
+	}
+}

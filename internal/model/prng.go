@@ -1,0 +1,86 @@
+package model
+
+import "math"
+
+// prng is a small counter-based deterministic generator (SplitMix64 core).
+// Every synthetic vector in the model substrate is derived from one of
+// these, seeded by hashing the coordinates that identify the vector
+// (document, position, layer, head, ...). This makes generation
+// order-independent: the key vector for token 1000 is the same whether the
+// document is prefilled in one sweep or appended token by token.
+type prng struct{ state uint64 }
+
+// mix combines an arbitrary number of 64-bit coordinates into a seed.
+func mix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = splitmix(h)
+	}
+	return h
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newPRNG(parts ...uint64) prng { return prng{state: mix(parts...)} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (p *prng) float64() float64 {
+	return float64(p.next()>>11) / float64(1<<53)
+}
+
+// norm returns a standard normal variate (Box–Muller).
+func (p *prng) norm() float64 {
+	u1 := p.float64()
+	for u1 == 0 {
+		u1 = p.float64()
+	}
+	u2 := p.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gaussianVec fills out with iid standard normal entries.
+func (p *prng) gaussianVec(out []float32) {
+	for i := range out {
+		out[i] = float32(p.norm())
+	}
+}
+
+// unitVec fills out with a uniformly random direction (normalized Gaussian).
+func (p *prng) unitVec(out []float32) {
+	p.gaussianVec(out)
+	var s float64
+	for _, v := range out {
+		s += float64(v) * float64(v)
+	}
+	if s == 0 {
+		out[0] = 1
+		return
+	}
+	inv := float32(1 / math.Sqrt(s))
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// intn returns a uniform integer in [0, n).
+func (p *prng) intn(n int) int {
+	if n <= 0 {
+		panic("prng: intn with non-positive bound")
+	}
+	return int(p.next() % uint64(n))
+}

@@ -1,0 +1,198 @@
+// Package query implements AlayaDB's query processing (§6): the Dynamic
+// Inner-Product Range query (DIPR, Definition 3), its graph-search
+// algorithm DIPRS (Algorithm 1) with the window-cache and attribute-
+// filtering enhancements of §7.1, and the rule-based query optimizer of
+// Figure 8.
+package query
+
+import (
+	"math"
+
+	"repro/internal/index"
+	"repro/internal/vec"
+)
+
+// Graph is the index access DIPRS needs; *graph.Graph satisfies it.
+type Graph interface {
+	// Neighbors returns node i's out-neighbours.
+	Neighbors(i int32) []int32
+	// Vector returns the key vector of node i.
+	Vector(i int32) []float32
+	// Entry returns the search entry point.
+	Entry() int32
+	// Len returns the number of nodes.
+	Len() int
+}
+
+// Beta converts a critical-token attention-score ratio α ∈ (0, 1] into the
+// DIPR range parameter β = −√d·ln(α) (Theorem 1). d is the head dimension.
+func Beta(alpha float64, d int) float32 {
+	return float32(-math.Sqrt(float64(d)) * math.Log(alpha))
+}
+
+// Alpha inverts Beta: the attention-score ratio a β corresponds to.
+func Alpha(beta float32, d int) float64 {
+	return math.Exp(-float64(beta) / math.Sqrt(float64(d)))
+}
+
+// DIPRSConfig tunes Algorithm 1.
+type DIPRSConfig struct {
+	// Beta is the inner-product range: returned tokens score within Beta of
+	// the best token found.
+	Beta float32
+	// Capacity is l₀, the exploration capacity threshold: the candidate
+	// list accepts any point until it holds Capacity entries, ensuring the
+	// search escapes local neighbourhoods before β-pruning kicks in.
+	// Defaults to 64.
+	Capacity int
+	// InitialMax seeds the best-so-far inner product, enabling pruning from
+	// the very first step. The window-cache enhancement of §7.1 passes the
+	// maximum inner product observed in the cached window here. Use
+	// negative infinity (or leave zero with HasInitialMax unset) to start
+	// cold.
+	InitialMax    float32
+	HasInitialMax bool
+	// Filter restricts results to nodes satisfying the predicate (§7.1
+	// attribute filtering). When set, exploration expands 2-hop
+	// neighbourhoods through failing nodes so the traversal does not
+	// stall at the filter boundary (the ACORN [49] strategy).
+	Filter func(id int32) bool
+	// MaxExplore caps visited nodes as a safety valve (0 = no cap).
+	MaxExplore int
+	// MaxResults bounds the returned critical set to the best MaxResults
+	// tokens (0 = unlimited). Diffuse heads can have β-bands covering much
+	// of the context; production configurations bound the attended set the
+	// way InfLLM bounds its block budget.
+	MaxResults int
+}
+
+func (c *DIPRSConfig) defaults() {
+	if c.Capacity <= 0 {
+		c.Capacity = 96
+	}
+}
+
+// Result is the outcome of a DIPRS search.
+type Result struct {
+	// Critical is the critical-token set 𝒄_K, best-first.
+	Critical []index.Candidate
+	// MaxIP is the best inner product observed (including InitialMax).
+	MaxIP float32
+	// Explored counts scored nodes — the traversal cost driver.
+	Explored int
+}
+
+// DIPRS runs Algorithm 1: an unordered, growable candidate list C is
+// scanned in insertion order; each scanned entry's unvisited neighbours are
+// appended if the list is still below its capacity threshold (exploration
+// phase) or if they are β-critical w.r.t. the best inner product seen so
+// far (pruning phase). The search ends when the scan catches up with the
+// list's growth; all β-critical list entries are returned.
+func DIPRS(g Graph, q []float32, cfg DIPRSConfig) Result {
+	cfg.defaults()
+	n := g.Len()
+	if n == 0 {
+		return Result{MaxIP: float32(math.Inf(-1))}
+	}
+
+	maxIP := float32(math.Inf(-1))
+	if cfg.HasInitialMax {
+		maxIP = cfg.InitialMax
+	}
+
+	visited := make([]bool, n)
+	type entry struct {
+		id    int32
+		score float32
+	}
+	var list []entry
+	explored := 0
+
+	score := func(id int32) float32 {
+		explored++
+		return vec.Dot(q, g.Vector(id))
+	}
+	admit := func(id int32, s float32) {
+		// Line 13: below capacity, accept anything; past it, β-critical only.
+		if len(list) <= cfg.Capacity || s >= maxIP-cfg.Beta {
+			list = append(list, entry{id: id, score: s})
+			if s > maxIP {
+				maxIP = s
+			}
+		}
+	}
+
+	start := g.Entry()
+	visited[start] = true
+	if cfg.Filter == nil || cfg.Filter(start) {
+		admit(start, score(start))
+	} else {
+		// The entry point fails the predicate: the traversal must still pass
+		// through it, but its score must not count — the running maximum is
+		// over the filtered subset only, otherwise β-pruning against an
+		// excluded token could empty the result. The -Inf score keeps it out
+		// of the final critical set.
+		list = append(list, entry{id: start, score: float32(math.Inf(-1))})
+	}
+
+	for i := 0; i < len(list); i++ {
+		if cfg.MaxExplore > 0 && explored >= cfg.MaxExplore {
+			break
+		}
+		cur := list[i].id
+		for _, v := range g.Neighbors(cur) {
+			if visited[v] {
+				continue
+			}
+			if cfg.Filter != nil && !cfg.Filter(v) {
+				// ACORN-style 2-hop expansion: pass through the failing node
+				// to its neighbours so the filtered region stays connected.
+				// The failing node is marked visited; its failing neighbours
+				// are left unvisited for other pass-throughs to reach.
+				visited[v] = true
+				for _, w := range g.Neighbors(v) {
+					if visited[w] || !cfg.Filter(w) {
+						continue
+					}
+					visited[w] = true
+					admit(w, score(w))
+				}
+				continue
+			}
+			visited[v] = true
+			admit(v, score(v))
+		}
+	}
+
+	threshold := maxIP - cfg.Beta
+	var h index.MinHeap
+	for _, e := range list {
+		if e.score >= threshold && !math.IsInf(float64(e.score), -1) {
+			h = append(h, index.Candidate{ID: e.id, Score: e.score})
+		}
+	}
+	keep := len(h)
+	if cfg.MaxResults > 0 && cfg.MaxResults < keep {
+		keep = cfg.MaxResults
+	}
+	res := make(index.MinHeap, 0, keep)
+	for _, c := range h {
+		res.PushBounded(c, keep)
+	}
+	return Result{Critical: res.Sorted(), MaxIP: maxIP, Explored: explored}
+}
+
+// WindowMax computes the maximum inner product between q and the key rows
+// listed in window — the seed for the window-cache-enhanced DIPRS (§7.1).
+func WindowMax(q []float32, keys *vec.Matrix, window []int) (float32, bool) {
+	if len(window) == 0 {
+		return 0, false
+	}
+	best := vec.Dot(q, keys.Row(window[0]))
+	for _, i := range window[1:] {
+		if s := vec.Dot(q, keys.Row(i)); s > best {
+			best = s
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,127 @@
+package query
+
+import "fmt"
+
+// Kind enumerates AlayaDB's query types (§6.2).
+type Kind int
+
+const (
+	// KindFull is exact full attention (no retrieval).
+	KindFull Kind = iota
+	// KindTopK retrieves a fixed number of critical tokens.
+	KindTopK
+	// KindDIPR retrieves the dynamic β-critical token set.
+	KindDIPR
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindTopK:
+		return "topk"
+	case KindDIPR:
+		return "dipr"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IndexKind enumerates the index types of Table 4.
+type IndexKind int
+
+const (
+	// IndexNone: no index (full attention).
+	IndexNone IndexKind = iota
+	// IndexCoarse: block-grained representatives on device.
+	IndexCoarse
+	// IndexFine: graph index on host.
+	IndexFine
+	// IndexFlat: exhaustive scan on host.
+	IndexFlat
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexNone:
+		return "none"
+	case IndexCoarse:
+		return "coarse"
+	case IndexFine:
+		return "fine"
+	case IndexFlat:
+		return "flat"
+	}
+	return fmt.Sprintf("index(%d)", int(k))
+}
+
+// Plan is the optimizer's chosen execution strategy for one attention
+// query.
+type Plan struct {
+	Query    Kind
+	Index    IndexKind
+	Filtered bool // attribute-filtering predicate applied (partial reuse)
+}
+
+func (p Plan) String() string {
+	s := p.Query.String() + "+" + p.Index.String()
+	if p.Filtered {
+		s += "+filter"
+	}
+	return s
+}
+
+// Request carries the facts the rule-based optimizer dispatches on
+// (Figure 8).
+type Request struct {
+	// ContextLen is the session's current context length in tokens.
+	ContextLen int
+	// LongThreshold is the boundary below which full attention is cheap
+	// enough to use outright. Zero selects the default (4096).
+	LongThreshold int
+	// PartialReuse is true when the session reuses only a prefix of a
+	// stored context, requiring attribute filtering (§7.1).
+	PartialReuse bool
+	// DeviceFree is the device memory available for caching coarse-index
+	// blocks, in bytes.
+	DeviceFree int64
+	// CoarseNeed is the device memory the coarse path would require for
+	// this context, in bytes.
+	CoarseNeed int64
+	// Layer is the 0-based transformer layer of the query. The first
+	// layer's diffuse heads retrieve so many tokens that a flat scan beats
+	// graph traversal (Figure 5, Table 4).
+	Layer int
+}
+
+// DefaultLongThreshold is the context length above which attention queries
+// are processed sparsely.
+const DefaultLongThreshold = 4096
+
+// Optimize implements the rule tree of Figure 8. It is deterministic and
+// side-effect free.
+func Optimize(r Request) Plan {
+	threshold := r.LongThreshold
+	if threshold <= 0 {
+		threshold = DefaultLongThreshold
+	}
+	if r.ContextLen < threshold {
+		return Plan{Query: KindFull, Index: IndexNone}
+	}
+	p := Plan{Filtered: r.PartialReuse}
+	if !r.PartialReuse && r.CoarseNeed > 0 && r.DeviceFree >= r.CoarseNeed {
+		// Plenty of device memory: cache blocks on device and run coarse
+		// top-k (the InfLLM configuration inside AlayaDB). Partial reuse
+		// disables this path because the coarse blocks of a *prefix* are
+		// not cached individually.
+		p.Query = KindTopK
+		p.Index = IndexCoarse
+		return p
+	}
+	p.Query = KindDIPR
+	if r.Layer == 0 {
+		p.Index = IndexFlat
+	} else {
+		p.Index = IndexFine
+	}
+	return p
+}

@@ -1,0 +1,240 @@
+// Package serve exposes a DB over HTTP — the deployment shape of §1's
+// vision: inference engines connect to AlayaDB the way web applications
+// connect to a relational database, shipping generated K/V in and getting
+// finished attention outputs back. The interface carries only queries and
+// attention results (never KV cache contents), which is exactly the
+// paper's "interface simplification" benefit of the decoupling.
+//
+// Endpoints (JSON bodies):
+//
+//	POST /v1/sessions                    create a session (body: document)
+//	POST /v1/sessions/{id}/prefill      generate KV for unreused tokens
+//	POST /v1/sessions/{id}/update       ingest one generated token
+//	POST /v1/sessions/{id}/attention    compute one head's attention
+//	POST /v1/sessions/{id}/store        persist as a reusable context
+//	DELETE /v1/sessions/{id}            close the session
+//	GET  /v1/stats                      DB-level statistics
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/model"
+)
+
+// Server wraps a DB with HTTP handlers. Create with NewServer and mount
+// via Handler().
+type Server struct {
+	db *core.DB
+
+	mu       sync.Mutex
+	sessions map[int64]*core.Session
+	nextID   int64
+}
+
+// NewServer returns a server over db.
+func NewServer(db *core.DB) *Server {
+	return &Server{db: db, sessions: make(map[int64]*core.Session)}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSession)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// --- wire types ---
+
+// DocumentWire is the JSON form of a document.
+type DocumentWire struct {
+	Seed   uint64        `json:"seed"`
+	Tokens []model.Token `json:"tokens"`
+}
+
+// CreateSessionResponse reports the session id and how many prompt tokens
+// were reused from stored contexts (the "truncated prompts" of Table 2:
+// the engine only needs to prefill from Reused onward).
+type CreateSessionResponse struct {
+	SessionID int64 `json:"session_id"`
+	Reused    int   `json:"reused"`
+}
+
+// UpdateRequest ingests one token: its document entry plus nothing else —
+// the server generates KV through the substrate. (A real deployment ships
+// the K/V tensors; the substrate owns them here.)
+type UpdateRequest struct {
+	Token model.Token `json:"token"`
+}
+
+// AttentionRequest asks for one head's attention output.
+type AttentionRequest struct {
+	Layer int       `json:"layer"`
+	QHead int       `json:"q_head"`
+	Query []float32 `json:"query"`
+}
+
+// AttentionResponse carries the output and the execution facts.
+type AttentionResponse struct {
+	Output    []float32 `json:"output"`
+	Plan      string    `json:"plan"`
+	Retrieved int       `json:"retrieved"`
+	Attended  int       `json:"attended"`
+}
+
+// StatsResponse summarises the DB.
+type StatsResponse struct {
+	Contexts     int     `json:"contexts"`
+	StoredBytes  int64   `json:"stored_bytes"`
+	Evictions    int64   `json:"evictions"`
+	DeviceUsedGB float64 `json:"device_used_gb"`
+	OpenSessions int     `json:"open_sessions"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var doc DocumentWire
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		httpError(w, http.StatusBadRequest, "bad document: %v", err)
+		return
+	}
+	sess, reused := s.db.CreateSession(&model.Document{Seed: doc.Seed, Tokens: doc.Tokens})
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, CreateSessionResponse{SessionID: id, Reused: reused})
+}
+
+// handleSession routes /v1/sessions/{id}/{action}.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	parts := strings.SplitN(rest, "/", 2)
+	id, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad session id %q", parts[0])
+		return
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no session %d", id)
+		return
+	}
+
+	action := ""
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+	switch {
+	case action == "" && r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		if err := sess.Close(); err != nil {
+			httpError(w, http.StatusInternalServerError, "close: %v", err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "closed"})
+	case action == "prefill" && r.Method == http.MethodPost:
+		fed := sess.PrefillRemaining()
+		writeJSON(w, map[string]int{"prefilled": fed, "context_len": sess.ContextLen(0)})
+	case action == "update" && r.Method == http.MethodPost:
+		var req UpdateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad update: %v", err)
+			return
+		}
+		sess.AppendToken(req.Token)
+		writeJSON(w, map[string]int{"context_len": sess.ContextLen(0)})
+	case action == "attention" && r.Method == http.MethodPost:
+		var req AttentionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad attention request: %v", err)
+			return
+		}
+		mc := s.db.Model().Config()
+		if req.Layer < 0 || req.Layer >= mc.Layers || req.QHead < 0 || req.QHead >= mc.QHeads {
+			httpError(w, http.StatusBadRequest, "layer/head out of range")
+			return
+		}
+		if len(req.Query) != mc.HeadDim {
+			httpError(w, http.StatusBadRequest, "query dim %d, want %d", len(req.Query), mc.HeadDim)
+			return
+		}
+		res := sess.Attention(req.Layer, req.QHead, req.Query)
+		writeJSON(w, AttentionResponse{
+			Output:    res.Output,
+			Plan:      res.Plan.String(),
+			Retrieved: res.Retrieved,
+			Attended:  res.Attended,
+		})
+	case action == "store" && r.Method == http.MethodPost:
+		ctx, err := s.db.Store(sess)
+		if err != nil {
+			httpError(w, http.StatusConflict, "store: %v", err)
+			return
+		}
+		writeJSON(w, map[string]int{"stored_tokens": ctx.Len()})
+	default:
+		httpError(w, http.StatusNotFound, "unknown action %q", action)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	open := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, StatsResponse{
+		Contexts:     s.db.NumContexts(),
+		StoredBytes:  s.db.StoredBytes(),
+		Evictions:    s.db.Evictions(),
+		DeviceUsedGB: devmem.GB(s.db.Device().Used()),
+		OpenSessions: open,
+	})
+}
+
+// Close closes every open session.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for id, sess := range s.sessions {
+		if err := sess.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.sessions, id)
+	}
+	return firstErr
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

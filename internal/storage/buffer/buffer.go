@@ -1,0 +1,234 @@
+// Package buffer implements AlayaDB's purpose-built buffer manager (§7.3).
+// It caches fixed blocks fetched from the vector file system with an
+// eviction policy aware of the two block types: index blocks (graph
+// adjacency, touched on every traversal) are preferred residents; data
+// blocks (vector payloads, typically read once per retrieval) are evicted
+// first. Within a type, eviction is LRU. Pinned frames are never evicted.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Kind mirrors vfs block types without importing the package (the manager
+// is storage-agnostic: anything that can fetch bytes by key can sit below
+// it).
+type Kind uint8
+
+const (
+	// Data blocks are evicted first.
+	Data Kind = iota
+	// Index blocks are preferred residents.
+	Index
+)
+
+// Key identifies a block: the file it belongs to and its block id.
+type Key struct {
+	File  string
+	Block int64
+}
+
+// Fetcher loads a block's payload on a cache miss.
+type Fetcher func(k Key) ([]byte, error)
+
+// ErrNoCapacity is returned when a block cannot be admitted because every
+// resident frame is pinned.
+var ErrNoCapacity = errors.New("buffer: all frames pinned")
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	BytesUsed int64
+}
+
+type frame struct {
+	key        Key
+	kind       Kind
+	payload    []byte
+	pins       int
+	elem       *list.Element // position in its kind's LRU list
+	globalElem *list.Element // position in the global LRU list
+}
+
+// Policy selects the eviction strategy.
+type Policy int
+
+const (
+	// TypeAware evicts data blocks before index blocks (§7.3 — the
+	// purpose-built policy; index blocks are hit by every traversal).
+	TypeAware Policy = iota
+	// PlainLRU ignores block types: one LRU order across everything.
+	// Exists for the ablation comparing it against TypeAware.
+	PlainLRU
+)
+
+// Manager is a byte-capacity-bounded block cache. Safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	fetch    Fetcher
+	policy   Policy
+	frames   map[Key]*frame
+	lru      [2]*list.List // one LRU list per Kind; front = most recent
+	global   *list.List    // recency across kinds, for PlainLRU
+	stats    Stats
+}
+
+// New returns a manager with the given byte capacity and the type-aware
+// eviction policy. Fetch is invoked on misses (fetches are assumed fast
+// block reads).
+func New(capacity int64, fetch Fetcher) *Manager {
+	return NewWithPolicy(capacity, fetch, TypeAware)
+}
+
+// NewWithPolicy returns a manager with an explicit eviction policy.
+func NewWithPolicy(capacity int64, fetch Fetcher, policy Policy) *Manager {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: capacity must be positive, got %d", capacity))
+	}
+	if fetch == nil {
+		panic("buffer: nil fetcher")
+	}
+	m := &Manager{capacity: capacity, fetch: fetch, policy: policy, frames: make(map[Key]*frame)}
+	m.lru[Data] = list.New()
+	m.lru[Index] = list.New()
+	m.global = list.New()
+	return m
+}
+
+// Get returns the payload of the block at key, fetching and caching it if
+// absent, and pins the frame. Callers must Release the key when done. The
+// returned slice must be treated as read-only and is valid until Release.
+func (m *Manager) Get(key Key, kind Kind) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.frames[key]; ok {
+		m.stats.Hits++
+		f.pins++
+		m.lru[f.kind].MoveToFront(f.elem)
+		m.global.MoveToFront(f.globalElem)
+		return f.payload, nil
+	}
+	m.stats.Misses++
+	payload, err := m.fetch(key)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: fetch %v: %w", key, err)
+	}
+	size := int64(len(payload))
+	if size > m.capacity {
+		return nil, fmt.Errorf("buffer: block %v (%d bytes) exceeds capacity %d", key, size, m.capacity)
+	}
+	if err := m.evictUntil(m.capacity - size); err != nil {
+		return nil, err
+	}
+	f := &frame{key: key, kind: kind, payload: payload, pins: 1}
+	f.elem = m.lru[kind].PushFront(f)
+	f.globalElem = m.global.PushFront(f)
+	m.frames[key] = f
+	m.used += size
+	m.stats.BytesUsed = m.used
+	return payload, nil
+}
+
+// evictUntil evicts unpinned frames until used <= target. Under TypeAware,
+// data blocks (LRU first) go before index blocks; under PlainLRU, the
+// globally least-recently-used frame goes regardless of kind.
+func (m *Manager) evictUntil(target int64) error {
+	for m.used > target {
+		var ok bool
+		if m.policy == PlainLRU {
+			ok = m.evictGlobalLRU()
+		} else {
+			ok = m.evictOne(Data) || m.evictOne(Index)
+		}
+		if !ok {
+			return ErrNoCapacity
+		}
+	}
+	return nil
+}
+
+// evictGlobalLRU removes the least-recently-used unpinned frame across
+// both kinds, using the global recency list.
+func (m *Manager) evictGlobalLRU() bool {
+	for e := m.global.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		m.remove(f)
+		return true
+	}
+	return false
+}
+
+// remove unlinks a frame from every structure and accounts the eviction.
+func (m *Manager) remove(f *frame) {
+	m.lru[f.kind].Remove(f.elem)
+	m.global.Remove(f.globalElem)
+	delete(m.frames, f.key)
+	m.used -= int64(len(f.payload))
+	m.stats.Evictions++
+	m.stats.BytesUsed = m.used
+}
+
+// evictOne removes the least-recently-used unpinned frame of the given
+// kind. Returns false if none is evictable.
+func (m *Manager) evictOne(kind Kind) bool {
+	for e := m.lru[kind].Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		m.remove(f)
+		return true
+	}
+	return false
+}
+
+// Release unpins a frame previously returned by Get. Releasing an unknown
+// or unpinned key is an error (double-release detection).
+func (m *Manager) Release(key Key) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.frames[key]
+	if !ok {
+		return fmt.Errorf("buffer: release of uncached %v", key)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: release of unpinned %v", key)
+	}
+	f.pins--
+	return nil
+}
+
+// Contains reports whether key is currently resident (pinned or not).
+func (m *Manager) Contains(key Key) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.frames[key]
+	return ok
+}
+
+// Stats returns a snapshot of cache counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Used returns the bytes currently cached.
+func (m *Manager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Capacity returns the configured capacity.
+func (m *Manager) Capacity() int64 { return m.capacity }
