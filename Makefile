@@ -1,0 +1,33 @@
+# Single source of truth for build/test/bench invocations; CI runs these
+# exact targets so local dev and the pipeline never drift.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-mode sweep of the concurrent layers (plus everything else; the serve,
+# core and attention packages are the ones exercising the new locking).
+race:
+	$(GO) test -race ./...
+
+# Full benchmark pass; use BENCHTIME=1x for the CI smoke run.
+BENCHTIME ?= 1s
+bench:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run '^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...

@@ -62,6 +62,33 @@ func BenchmarkFig12FilteredDIPRS(b *testing.B) { runExperiment(b, "fig12") }
 func BenchmarkTable4IndexTypes(b *testing.B)   { runExperiment(b, "table4") }
 func BenchmarkWindowCacheHitRate(b *testing.B) { runExperiment(b, "window") }
 
+// --- Concurrent serving (PR 1 tentpole): aggregate decode throughput ---
+
+// benchConcurrentDecode reports aggregate decode tokens/sec for 8 parallel
+// sessions under the chosen locking discipline; compare the GlobalMutex and
+// Sharded variants to see the registry refactor's effect.
+func benchConcurrentDecode(b *testing.B, globalLock bool) {
+	b.Helper()
+	s := benchScale()
+	var tps float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		tps, err = bench.MeasureConcurrent(s, bench.ConcurrentOptions{
+			Sessions:        8,
+			StepsPerSession: 8,
+			GlobalLock:      globalLock,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(tps, "tokens/sec")
+}
+
+func BenchmarkConcurrentDecode8GlobalMutex(b *testing.B) { benchConcurrentDecode(b, true) }
+func BenchmarkConcurrentDecode8Sharded(b *testing.B)     { benchConcurrentDecode(b, false) }
+func BenchmarkConcurrentServingSweep(b *testing.B)       { runExperiment(b, "concurrent") }
+
 // --- Micro-benchmarks of the hot paths ---
 
 func randomVec(rng *rand.Rand, d int) []float32 {

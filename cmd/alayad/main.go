@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/devmem"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/serve"
 )
 
@@ -28,8 +29,15 @@ func main() {
 		kvheads  = flag.Int("kvheads", 2, "kv heads per layer")
 		deviceGB = flag.Float64("device-gb", 0, "device memory capacity in GB (0 = unlimited)")
 		budgetGB = flag.Float64("context-budget-gb", 0, "stored-context byte budget in GB (0 = unlimited)")
+		poolSize = flag.Int("pool-size", 0, "worker pool size for per-head/per-layer fan-out (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", serve.DefaultShards, "session registry shard count (rounded up to a power of two)")
 	)
 	flag.Parse()
+
+	workPool := pool.Default()
+	if *poolSize > 0 {
+		workPool = pool.SetDefaultSize(*poolSize)
+	}
 
 	cfg := model.Default()
 	cfg.Layers = *layers
@@ -46,15 +54,16 @@ func main() {
 		Device:        dev,
 		Window:        attention.Window{Sinks: 32, Recent: 64},
 		ContextBudget: int64(*budgetGB * 1e9),
+		Pool:          workPool,
 	})
 	if err != nil {
 		log.Fatalf("alayad: %v", err)
 	}
 	defer db.Close()
 
-	srv := serve.NewServer(db)
+	srv := serve.NewServer(db, serve.WithShards(*shards))
 	defer srv.Close()
-	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d)",
-		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim)
+	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d, pool %d, %d shards)",
+		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim, workPool.Size(), *shards)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

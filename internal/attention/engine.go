@@ -1,7 +1,7 @@
 package attention
 
 import (
-	"sync"
+	"repro/internal/pool"
 
 	"repro/internal/vec"
 )
@@ -17,6 +17,10 @@ type Engine struct {
 	// Parallel computes the two partials concurrently when true, matching
 	// the paper's overlap of device and host computation.
 	Parallel bool
+	// Pool schedules the partials when Parallel is set; nil uses the
+	// process-wide pool.Default(). A saturated pool degrades to serial
+	// execution instead of spawning unbounded goroutines.
+	Pool *pool.Pool
 }
 
 // SparseWindowed computes sparse attention over the union of the engine's
@@ -29,17 +33,14 @@ func (e *Engine) SparseWindowed(q []float32, K, V *vec.Matrix, retrieved []int) 
 
 	var winPart, hostPart Partial
 	if e.Parallel {
-		var wg sync.WaitGroup
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			winPart = Over(q, K, V, winIdx)
-		}()
-		go func() {
-			defer wg.Done()
-			hostPart = Over(q, K, V, hostIdx)
-		}()
-		wg.Wait()
+		p := e.Pool
+		if p == nil {
+			p = pool.Default()
+		}
+		p.Run(
+			func() { winPart = Over(q, K, V, winIdx) },
+			func() { hostPart = Over(q, K, V, hostIdx) },
+		)
 	} else {
 		winPart = Over(q, K, V, winIdx)
 		hostPart = Over(q, K, V, hostIdx)

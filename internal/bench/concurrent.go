@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("concurrent", "aggregate decode throughput: single-global-mutex serving vs sharded per-session locking at N parallel sessions", runConcurrent)
+}
+
+// ConcurrentOptions shapes one throughput measurement.
+type ConcurrentOptions struct {
+	// Sessions is the number of sessions decoding in parallel.
+	Sessions int
+	// StepsPerSession is how many tokens each session decodes.
+	StepsPerSession int
+	// GlobalLock serializes every session operation behind one process-wide
+	// mutex — the naive thread-safe server the sharded registry replaces.
+	// When false each session is guarded only by its own (uncontended)
+	// lock, the per-session discipline of serve.Registry.
+	GlobalLock bool
+}
+
+// MeasureConcurrent drives Sessions parallel decode loops over one shared
+// stored context and returns the aggregate decode throughput in tokens per
+// second. Every decode step runs multi-head attention for one layer (fanned
+// across the DB's pool) and ingests the generated token.
+func MeasureConcurrent(s Scale, opts ConcurrentOptions) (float64, error) {
+	s.Defaults()
+	m := model.New(s.Model)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Window:        attention.Window{Sinks: 4, Recent: 32},
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers},
+		Workers:       s.Workers,
+		Pool:          pool.Default(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	if _, err := db.ImportDoc(inst.Doc); err != nil {
+		return 0, err
+	}
+
+	layer := s.Model.Layers - 1 // deepest layer: the DIPR-planned path
+	sessions := make([]*core.Session, opts.Sessions)
+	defer func() {
+		for _, sess := range sessions {
+			if sess != nil {
+				sess.Close()
+			}
+		}
+	}()
+	for i := range sessions {
+		sess, reused := db.CreateSession(inst.Doc)
+		sessions[i] = sess
+		if reused != inst.Doc.Len() {
+			return 0, fmt.Errorf("concurrent: session %d reused %d of %d tokens", i, reused, inst.Doc.Len())
+		}
+	}
+
+	// One query vector set per head, shared by every session: the work per
+	// step is identical across sessions and modes, so elapsed time isolates
+	// the locking discipline.
+	qs := make([][]float32, s.Model.QHeads)
+	for h := range qs {
+		qs[h] = m.QueryVector(inst.Doc, layer, h, model.QuerySpec{
+			FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+	}
+	tok := inst.Doc.Tokens[inst.Doc.Len()-1]
+
+	var global sync.Mutex
+	step := func(sess *core.Session, own *sync.Mutex) {
+		lock := own
+		if opts.GlobalLock {
+			lock = &global
+		}
+		lock.Lock()
+		sess.AttentionAll(layer, qs)
+		lock.Unlock()
+		lock.Lock()
+		sess.AppendToken(tok)
+		lock.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range sessions {
+		wg.Add(1)
+		go func(sess *core.Session) {
+			defer wg.Done()
+			var own sync.Mutex
+			for n := 0; n < opts.StepsPerSession; n++ {
+				step(sess, &own)
+			}
+		}(sessions[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := float64(opts.Sessions * opts.StepsPerSession)
+	return total / elapsed.Seconds(), nil
+}
+
+// runConcurrent sweeps the parallel-session ladder and reports aggregate
+// decode throughput for the global-mutex baseline against per-session
+// locking — the serving-path claim of the tentpole, measured.
+func runConcurrent(s Scale, w io.Writer) error {
+	steps := 8 * s.Trials
+	fmt.Fprintf(w, "Concurrent serving: aggregate decode throughput, %d steps/session, context %d\n\n", steps, s.ContextLen)
+	t := &table{header: []string{"sessions", "global mutex tok/s", "sharded tok/s", "speedup"}}
+	for _, n := range []int{1, 2, 4, 8} {
+		globalTPS, err := MeasureConcurrent(s, ConcurrentOptions{Sessions: n, StepsPerSession: steps, GlobalLock: true})
+		if err != nil {
+			return err
+		}
+		shardedTPS, err := MeasureConcurrent(s, ConcurrentOptions{Sessions: n, StepsPerSession: steps, GlobalLock: false})
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", globalTPS), fmt.Sprintf("%.1f", shardedTPS),
+			fmt.Sprintf("%.2fx", shardedTPS/globalTPS))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nexpectation: speedup ≈ min(sessions, cores) once sessions stop sharing one lock; 1-session rows stay ≈1x")
+	return nil
+}

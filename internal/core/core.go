@@ -17,6 +17,7 @@ import (
 	"repro/internal/index/graph"
 	"repro/internal/kvcache"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/query"
 	"repro/internal/vec"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	ShareGQA *bool
 	// Workers bounds build/scan parallelism. Defaults to 2.
 	Workers int
+	// Pool schedules the DB's fan-out work: per-head attention, per-layer
+	// prefill/decode ingestion, and the device/host partial split. Defaults
+	// to the process-wide pool.Default(), shared across DBs so total
+	// parallelism stays bounded by one GOMAXPROCS-sized budget.
+	Pool *pool.Pool
 	// ContextBudget bounds the total bytes (KV + indexes) of stored
 	// contexts; the least-recently-used context is evicted from the reuse
 	// store when an import exceeds it. 0 = unlimited.
@@ -86,6 +92,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Workers < 1 {
 		c.Workers = 2
+	}
+	if c.Pool == nil {
+		c.Pool = pool.Default()
 	}
 	return nil
 }

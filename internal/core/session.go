@@ -117,45 +117,46 @@ func (s *Session) Update(layer int, ks, vs [][]float32) {
 }
 
 // PrefillRemaining generates and ingests KV for every document token not
-// covered by the reused prefix, through the model substrate. It returns the
-// number of tokens ingested per layer.
+// covered by the reused prefix, through the model substrate. Layers are
+// filled in parallel through the DB's pool — each layer appends to its own
+// cache matrices, so the sweep is a pure fan-out. It returns the number of
+// tokens ingested per layer.
 func (s *Session) PrefillRemaining() int {
-	m := s.db.cfg.Model
-	mc := m.Config()
-	fed := 0
-	for l := 0; l < mc.Layers; l++ {
+	mc := s.db.cfg.Model.Config()
+	fed := s.doc.Len() - s.reuseLen - s.tail.SeqLen(0)
+	if fed < 0 {
+		fed = 0
+	}
+	s.db.cfg.Pool.ForEach(mc.Layers, func(l int) {
 		start := s.reuseLen + s.tail.SeqLen(l)
 		for pos := start; pos < s.doc.Len(); pos++ {
-			ks := make([][]float32, mc.KVHeads)
-			vs := make([][]float32, mc.KVHeads)
-			for h := 0; h < mc.KVHeads; h++ {
-				ks[h] = m.KeyVector(s.doc, pos, l, h)
-				vs[h] = m.ValueVector(s.doc, pos, l, h)
-			}
-			s.Update(l, ks, vs)
-			if l == 0 {
-				fed++
-			}
+			s.ingest(l, pos)
 		}
-	}
+	})
 	return fed
 }
 
 // AppendToken extends the session document with a newly generated token and
-// ingests its KV across all layers.
+// ingests its KV across all layers, fanned out layer-per-task.
 func (s *Session) AppendToken(t model.Token) {
 	pos := s.doc.Append(t)
+	mc := s.db.cfg.Model.Config()
+	s.db.cfg.Pool.ForEach(mc.Layers, func(l int) {
+		s.ingest(l, pos)
+	})
+}
+
+// ingest generates and appends one token's KV for one layer.
+func (s *Session) ingest(layer, pos int) {
 	m := s.db.cfg.Model
 	mc := m.Config()
-	for l := 0; l < mc.Layers; l++ {
-		ks := make([][]float32, mc.KVHeads)
-		vs := make([][]float32, mc.KVHeads)
-		for h := 0; h < mc.KVHeads; h++ {
-			ks[h] = m.KeyVector(s.doc, pos, l, h)
-			vs[h] = m.ValueVector(s.doc, pos, l, h)
-		}
-		s.Update(l, ks, vs)
+	ks := make([][]float32, mc.KVHeads)
+	vs := make([][]float32, mc.KVHeads)
+	for h := 0; h < mc.KVHeads; h++ {
+		ks[h] = m.KeyVector(s.doc, pos, layer, h)
+		vs[h] = m.ValueVector(s.doc, pos, layer, h)
 	}
+	s.Update(layer, ks, vs)
 }
 
 // AttentionResult carries one head's attention output plus the execution
@@ -192,13 +193,21 @@ func (s *Session) Attention(layer, qHead int, q []float32) AttentionResult {
 	return res
 }
 
-// AttentionAll computes attention for every query head of a layer. qs is
-// indexed by query head.
+// AttentionAll computes attention for every query head of a layer, fanning
+// the heads across the DB's worker pool — each head's retrieval and partial
+// attention are independent, so this is the paper's multi-head overlap. qs
+// is indexed by query head. On an unconstrained device the result is
+// bitwise-identical to calling Attention per head serially (each head's
+// computation is deterministic and shares no mutable state beyond
+// counters); under a tight device budget, plan selection samples the
+// racing free-byte count, so which heads win a coarse block cache may vary
+// with scheduling, exactly as it would across concurrently served
+// requests.
 func (s *Session) AttentionAll(layer int, qs [][]float32) []AttentionResult {
 	out := make([]AttentionResult, len(qs))
-	for h, q := range qs {
-		out[h] = s.Attention(layer, h, q)
-	}
+	s.db.cfg.Pool.ForEach(len(qs), func(h int) {
+		out[h] = s.Attention(layer, h, qs[h])
+	})
 	return out
 }
 
@@ -369,19 +378,22 @@ func (s *Session) sparseOutput(plan query.Plan, layer, kv int, q []float32, n in
 		tailIdx[i] = i
 	}
 
+	// The reused prefix lives on the host, the tail next to the device
+	// window: compute each partial where its data resides and merge by LSE
+	// (§7.2). The pool overlaps the two sides when a slot is free.
 	var prefixPart, tailPart attention.Partial
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if s.base != nil && len(prefixIdx) > 0 {
-			prefixPart = attention.Over(q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
-		} else {
-			prefixPart = attention.Partial{Output: make([]float32, len(q)), LSE: math.Inf(-1)}
-		}
-	}()
-	tailPart = attention.Over(q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), tailIdx)
-	wg.Wait()
+	s.db.cfg.Pool.Run(
+		func() {
+			if s.base != nil && len(prefixIdx) > 0 {
+				prefixPart = attention.Over(q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+			} else {
+				prefixPart = attention.Partial{Output: make([]float32, len(q)), LSE: math.Inf(-1)}
+			}
+		},
+		func() {
+			tailPart = attention.Over(q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), tailIdx)
+		},
+	)
 
 	return attention.Merge(prefixPart, tailPart), len(prefixIdx) + tailLen
 }

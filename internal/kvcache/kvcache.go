@@ -15,7 +15,10 @@ import (
 // appended in lockstep across heads of a layer; layers may momentarily
 // differ in length during a prefill sweep.
 //
-// Cache is not safe for concurrent mutation; concurrent reads are fine.
+// Cache is not safe for concurrent mutation of the same layer; concurrent
+// reads are fine, and appends to *distinct* layers may proceed in parallel
+// (each layer owns disjoint matrices) — the property core's parallel
+// prefill sweep relies on.
 type Cache struct {
 	layers  int
 	kvHeads int

@@ -1,0 +1,116 @@
+// Package pool provides the shared worker pool that fans AlayaDB's
+// independent compute tasks — per-head attention, per-layer prefill, the
+// device/host partials of the data-centric engine (§7.2) — across CPUs.
+//
+// The pool is a counting semaphore over goroutine spawns, not a fixed set
+// of worker goroutines. Fan-out helpers always run part of the work on the
+// calling goroutine and only spawn extra goroutines while pool slots are
+// free, so nested use (a parallel attention call inside a parallel prefill
+// sweep) degrades to inline execution instead of deadlocking, and the
+// process-wide goroutine count stays bounded by the pool size no matter
+// how many sessions fan out at once.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds concurrent task execution. The zero value is not usable;
+// create pools with New. A Pool is safe for concurrent use.
+type Pool struct {
+	sem chan struct{}
+}
+
+// New returns a pool allowing up to size concurrently spawned workers in
+// addition to the goroutines that call into it. size < 1 is clamped to 1.
+func New(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Size returns the pool's spawn bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+var (
+	defaultMu   sync.Mutex
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, sized by GOMAXPROCS on
+// first use. SetDefaultSize resizes it.
+func Default() *Pool {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultPool == nil {
+		defaultPool = New(runtime.GOMAXPROCS(0))
+	}
+	return defaultPool
+}
+
+// SetDefaultSize replaces the shared pool with one of the given size and
+// returns it. Pools handed out by earlier Default calls keep their old
+// bound; callers that want the new size must call Default again.
+func SetDefaultSize(size int) *Pool {
+	p := New(size)
+	defaultMu.Lock()
+	defaultPool = p
+	defaultMu.Unlock()
+	return p
+}
+
+// ForEach runs fn(0), …, fn(n-1), distributing calls across the calling
+// goroutine plus up to Size() pooled workers, and returns when every call
+// has finished. Order is unspecified; fn must be safe for concurrent
+// invocation with distinct arguments. When the pool is saturated every
+// call runs inline on the caller, so ForEach never blocks waiting for a
+// slot and never deadlocks under nesting.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	// Spawn at most n-1 helpers: the caller is always one of the workers.
+spawn:
+	for i := 0; i < n-1; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			break spawn // saturated: the caller picks up the rest inline
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// Run executes every function, possibly concurrently, and returns when all
+// have finished. It is ForEach over a fixed task list — the fan-out/fan-in
+// shape of the engine's device/host partial split.
+func (p *Pool) Run(fns ...func()) {
+	p.ForEach(len(fns), func(i int) { fns[i]() })
+}

@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	const n = 1000
+	var hits [n]atomic.Int32
+	p.ForEach(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	p := New(2)
+	p.ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+	p.ForEach(-3, func(int) { t.Fatal("fn called for n<0") })
+	ran := false
+	p.ForEach(1, func(i int) {
+		if i != 0 {
+			t.Fatalf("single task got index %d", i)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("single task not run")
+	}
+}
+
+// TestForEachNested is the deadlock regression: a parallel task that fans
+// out again must complete even when the pool is fully saturated, because
+// saturated fan-outs run inline on the caller.
+func TestForEachNested(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	p.ForEach(8, func(int) {
+		p.ForEach(8, func(int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested ForEach ran %d inner tasks, want 64", got)
+	}
+}
+
+func TestForEachBoundsGoroutines(t *testing.T) {
+	p := New(3)
+	var cur, peak atomic.Int64
+	p.ForEach(64, func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	// Caller + at most Size() spawned workers.
+	if got := peak.Load(); got > int64(p.Size()+1) {
+		t.Fatalf("observed %d concurrent tasks, pool size %d", got, p.Size())
+	}
+}
+
+func TestRun(t *testing.T) {
+	p := New(2)
+	var a, b atomic.Bool
+	p.Run(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatalf("Run skipped a task: a=%v b=%v", a.Load(), b.Load())
+	}
+	p.Run() // no tasks: must not panic or block
+}
+
+func TestNewClampsSize(t *testing.T) {
+	if got := New(0).Size(); got != 1 {
+		t.Fatalf("New(0).Size() = %d, want 1", got)
+	}
+	if got := New(-5).Size(); got != 1 {
+		t.Fatalf("New(-5).Size() = %d, want 1", got)
+	}
+}
+
+func TestDefaultAndSetDefaultSize(t *testing.T) {
+	if Default() == nil {
+		t.Fatal("Default returned nil")
+	}
+	old := Default().Size()
+	p := SetDefaultSize(7)
+	if p.Size() != 7 || Default() != p {
+		t.Fatalf("SetDefaultSize(7): got size %d, default identity %v", Default().Size(), Default() == p)
+	}
+	SetDefaultSize(old) // restore for other tests sharing the process
+}

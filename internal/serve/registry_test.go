@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestRegistryShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {32, 32}, {33, 64},
+	} {
+		if got := NewRegistry(tc.in).Shards(); got != tc.want {
+			t.Errorf("NewRegistry(%d).Shards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRegistryAddAcquireRemove(t *testing.T) {
+	r := NewRegistry(4)
+	id := r.Add(nil)
+	if id != 1 {
+		t.Fatalf("first id = %d, want 1", id)
+	}
+	if r.Add(nil) != 2 {
+		t.Fatal("ids not sequential")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	_, release, ok := r.Acquire(id, false)
+	if !ok {
+		t.Fatal("Acquire missed a registered session")
+	}
+	release()
+	if _, _, ok := r.Acquire(999, true); ok {
+		t.Fatal("Acquire found an unregistered id")
+	}
+	if _, ok := r.Remove(id); !ok {
+		t.Fatal("Remove missed a registered session")
+	}
+	if _, ok := r.Remove(id); ok {
+		t.Fatal("double Remove succeeded")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after remove = %d, want 1", r.Len())
+	}
+}
+
+// TestRegistryIDsUniqueUnderContention allocates IDs from many goroutines
+// and asserts no duplicates: the atomic counter is the whole story, no
+// lock required.
+func TestRegistryIDsUniqueUnderContention(t *testing.T) {
+	r := NewRegistry(8)
+	const goroutines, per = 16, 200
+	var wg sync.WaitGroup
+	ids := make([][]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids[g] = append(ids[g], r.Add(nil))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, goroutines*per)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("id %d allocated twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	if r.Len() != goroutines*per {
+		t.Fatalf("Len = %d, want %d", r.Len(), goroutines*per)
+	}
+}
+
+// TestRegistryAcquireRemoveChurn interleaves Acquire and Remove on fresh
+// IDs; under -race this exercises the closed-entry re-check that keeps a
+// request that looked a session up just before removal from being served
+// after the session is closed.
+func TestRegistryAcquireRemoveChurn(t *testing.T) {
+	r := NewRegistry(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := r.Add(nil)
+				var inner sync.WaitGroup
+				inner.Add(2)
+				go func() {
+					defer inner.Done()
+					if _, release, ok := r.Acquire(id, i%2 == 0); ok {
+						release()
+					}
+				}()
+				go func() {
+					defer inner.Done()
+					r.Remove(id)
+				}()
+				inner.Wait()
+				if _, _, ok := r.Acquire(id, true); ok {
+					t.Error("acquired a removed session")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestServeConcurrentSessions hammers one server with parallel
+// create/prefill/attention/attention_all/update/close cycles across many
+// goroutines plus concurrent stats polling. Run under -race this is the
+// regression for the sharded-registry refactor.
+func TestServeConcurrentSessions(t *testing.T) {
+	_, ts, m := testServer(t)
+	mc := m.Config()
+	const goroutines, rounds = 8, 3
+
+	var stats atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				p, _ := workload.ProfileByName("Retr.P")
+				inst := workload.Generate(p, uint64(100+g), 120, 16, 32)
+				doc := DocumentWire{Seed: inst.Doc.Seed, Tokens: inst.Doc.Tokens}
+				var created CreateSessionResponse
+				if code := postJSON(t, ts.URL+"/v1/sessions", doc, &created); code != http.StatusOK {
+					errs <- fmt.Errorf("create: status %d", code)
+					return
+				}
+				base := fmt.Sprintf("%s/v1/sessions/%d", ts.URL, created.SessionID)
+				if code := postJSON(t, base+"/prefill", struct{}{}, nil); code != http.StatusOK {
+					errs <- fmt.Errorf("prefill: status %d", code)
+					return
+				}
+				q := m.QueryVector(inst.Doc, 1, 0, model.QuerySpec{FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+				var att AttentionResponse
+				if code := postJSON(t, base+"/attention", AttentionRequest{Layer: 1, QHead: 0, Query: q}, &att); code != http.StatusOK {
+					errs <- fmt.Errorf("attention: status %d", code)
+					return
+				}
+				qs := make([][]float32, mc.QHeads)
+				for h := range qs {
+					qs[h] = m.QueryVector(inst.Doc, 1, h, model.QuerySpec{FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+				}
+				var all AttentionAllResponse
+				if code := postJSON(t, base+"/attention_all", AttentionAllRequest{Layer: 1, Queries: qs}, &all); code != http.StatusOK {
+					errs <- fmt.Errorf("attention_all: status %d", code)
+					return
+				}
+				if len(all.Heads) != mc.QHeads {
+					errs <- fmt.Errorf("attention_all returned %d heads, want %d", len(all.Heads), mc.QHeads)
+					return
+				}
+				for i := range att.Output {
+					if att.Output[i] != all.Heads[0].Output[i] {
+						errs <- fmt.Errorf("attention_all head 0 diverges from single-head attention at dim %d", i)
+						return
+					}
+				}
+				if code := postJSON(t, base+"/update", UpdateRequest{Token: inst.Doc.Tokens[0]}, nil); code != http.StatusOK {
+					errs <- fmt.Errorf("update: status %d", code)
+					return
+				}
+				req, _ := http.NewRequest(http.MethodDelete, base, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("delete: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < goroutines*rounds; i++ {
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err == nil {
+				resp.Body.Close()
+				stats.Add(1)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if stats.Load() == 0 {
+		t.Error("stats poller never succeeded")
+	}
+}
+
+// TestServerCloseDrainsAllSessions verifies Close closes every live
+// session exactly once and leaves the registry empty.
+func TestServerCloseDrainsAllSessions(t *testing.T) {
+	srv, ts, _ := testServer(t)
+	for i := 0; i < 5; i++ {
+		doc := DocumentWire{Seed: 7, Tokens: model.NewFiller(7, 50, 8, 32).Tokens}
+		var created CreateSessionResponse
+		if code := postJSON(t, ts.URL+"/v1/sessions", doc, &created); code != http.StatusOK {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+	}
+	if srv.reg.Len() != 5 {
+		t.Fatalf("registry holds %d sessions, want 5", srv.reg.Len())
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if srv.reg.Len() != 0 {
+		t.Fatalf("registry holds %d sessions after Close", srv.reg.Len())
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

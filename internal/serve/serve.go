@@ -7,13 +7,31 @@
 //
 // Endpoints (JSON bodies):
 //
-//	POST /v1/sessions                    create a session (body: document)
-//	POST /v1/sessions/{id}/prefill      generate KV for unreused tokens
-//	POST /v1/sessions/{id}/update       ingest one generated token
-//	POST /v1/sessions/{id}/attention    compute one head's attention
-//	POST /v1/sessions/{id}/store        persist as a reusable context
-//	DELETE /v1/sessions/{id}            close the session
-//	GET  /v1/stats                      DB-level statistics
+//	POST /v1/sessions                      create a session (body: document)
+//	POST /v1/sessions/{id}/prefill        generate KV for unreused tokens
+//	POST /v1/sessions/{id}/update         ingest one generated token
+//	POST /v1/sessions/{id}/attention      compute one head's attention
+//	POST /v1/sessions/{id}/attention_all  compute every head of a layer
+//	POST /v1/sessions/{id}/store          persist as a reusable context
+//	DELETE /v1/sessions/{id}              close the session
+//	GET  /v1/stats                        DB-level statistics
+//
+// # Locking discipline
+//
+// The server is built for many sessions in flight at once; there is no
+// global request lock. Three independent levels exist, always acquired
+// top-down and never held across levels longer than needed:
+//
+//  1. Session IDs come from a lock-free atomic counter.
+//  2. The session table is sharded (Registry); a shard mutex guards only
+//     its map slice and is held just for insert/lookup/delete, so requests
+//     for different sessions never serialize on the table.
+//  3. Each session carries a request RWMutex: attention and stats take it
+//     shared (Session is internally thread-safe for reads and fans its
+//     per-head work across the worker pool), while prefill, update, store
+//     and close take it exclusive because they grow or consume the
+//     session's KV tail. Requests on *different* sessions therefore only
+//     ever share the worker pool, never a lock.
 package serve
 
 import (
@@ -22,26 +40,40 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/devmem"
 	"repro/internal/model"
 )
 
-// Server wraps a DB with HTTP handlers. Create with NewServer and mount
-// via Handler().
-type Server struct {
-	db *core.DB
+// DefaultShards is the registry shard count used when no option overrides
+// it: comfortably above typical core counts so shard collisions are rare.
+const DefaultShards = 32
 
-	mu       sync.Mutex
-	sessions map[int64]*core.Session
-	nextID   int64
+// Server wraps a DB with HTTP handlers. Create with NewServer and mount
+// via Handler(). Safe for concurrent use; see the package comment for the
+// locking discipline.
+type Server struct {
+	db  *core.DB
+	reg *Registry
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithShards sets the session-registry shard count (rounded up to a power
+// of two).
+func WithShards(n int) Option {
+	return func(s *Server) { s.reg = NewRegistry(n) }
 }
 
 // NewServer returns a server over db.
-func NewServer(db *core.DB) *Server {
-	return &Server{db: db, sessions: make(map[int64]*core.Session)}
+func NewServer(db *core.DB, opts ...Option) *Server {
+	s := &Server{db: db, reg: NewRegistry(DefaultShards)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the HTTP handler tree.
@@ -91,6 +123,19 @@ type AttentionResponse struct {
 	Attended  int       `json:"attended"`
 }
 
+// AttentionAllRequest asks for every query head of a layer in one round
+// trip; the server fans the heads across its worker pool. Queries is
+// indexed by query head and must cover all heads.
+type AttentionAllRequest struct {
+	Layer   int         `json:"layer"`
+	Queries [][]float32 `json:"queries"`
+}
+
+// AttentionAllResponse carries one AttentionResponse per query head.
+type AttentionAllResponse struct {
+	Heads []AttentionResponse `json:"heads"`
+}
+
 // StatsResponse summarises the DB.
 type StatsResponse struct {
 	Contexts     int     `json:"contexts"`
@@ -113,11 +158,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess, reused := s.db.CreateSession(&model.Document{Seed: doc.Seed, Tokens: doc.Tokens})
-	s.mu.Lock()
-	s.nextID++
-	id := s.nextID
-	s.sessions[id] = sess
-	s.mu.Unlock()
+	id := s.reg.Add(sess)
 	writeJSON(w, CreateSessionResponse{SessionID: id, Reused: reused})
 }
 
@@ -130,28 +171,36 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad session id %q", parts[0])
 		return
 	}
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	s.mu.Unlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, "no session %d", id)
-		return
-	}
-
 	action := ""
 	if len(parts) == 2 {
 		action = parts[1]
 	}
-	switch {
-	case action == "" && r.Method == http.MethodDelete:
-		s.mu.Lock()
-		delete(s.sessions, id)
-		s.mu.Unlock()
+
+	if action == "" && r.Method == http.MethodDelete {
+		sess, ok := s.reg.Remove(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no session %d", id)
+			return
+		}
 		if err := sess.Close(); err != nil {
 			httpError(w, http.StatusInternalServerError, "close: %v", err)
 			return
 		}
 		writeJSON(w, map[string]string{"status": "closed"})
+		return
+	}
+
+	// Mutating actions take the session's request lock exclusively; reads
+	// share it (package comment, level 3).
+	exclusive := action == "prefill" || action == "update" || action == "store"
+	sess, release, ok := s.reg.Acquire(id, exclusive)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no session %d", id)
+		return
+	}
+	defer release()
+
+	switch {
 	case action == "prefill" && r.Method == http.MethodPost:
 		fed := sess.PrefillRemaining()
 		writeJSON(w, map[string]int{"prefilled": fed, "context_len": sess.ContextLen(0)})
@@ -179,12 +228,34 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res := sess.Attention(req.Layer, req.QHead, req.Query)
-		writeJSON(w, AttentionResponse{
-			Output:    res.Output,
-			Plan:      res.Plan.String(),
-			Retrieved: res.Retrieved,
-			Attended:  res.Attended,
-		})
+		writeJSON(w, attentionWire(res))
+	case action == "attention_all" && r.Method == http.MethodPost:
+		var req AttentionAllRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad attention_all request: %v", err)
+			return
+		}
+		mc := s.db.Model().Config()
+		if req.Layer < 0 || req.Layer >= mc.Layers {
+			httpError(w, http.StatusBadRequest, "layer out of range")
+			return
+		}
+		if len(req.Queries) != mc.QHeads {
+			httpError(w, http.StatusBadRequest, "%d queries, want one per head (%d)", len(req.Queries), mc.QHeads)
+			return
+		}
+		for h, q := range req.Queries {
+			if len(q) != mc.HeadDim {
+				httpError(w, http.StatusBadRequest, "head %d query dim %d, want %d", h, len(q), mc.HeadDim)
+				return
+			}
+		}
+		results := sess.AttentionAll(req.Layer, req.Queries)
+		resp := AttentionAllResponse{Heads: make([]AttentionResponse, len(results))}
+		for h, res := range results {
+			resp.Heads[h] = attentionWire(res)
+		}
+		writeJSON(w, resp)
 	case action == "store" && r.Method == http.MethodPost:
 		ctx, err := s.db.Store(sess)
 		if err != nil {
@@ -197,33 +268,36 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func attentionWire(res core.AttentionResult) AttentionResponse {
+	return AttentionResponse{
+		Output:    res.Output,
+		Plan:      res.Plan.String(),
+		Retrieved: res.Retrieved,
+		Attended:  res.Attended,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	open := len(s.sessions)
-	s.mu.Unlock()
 	writeJSON(w, StatsResponse{
 		Contexts:     s.db.NumContexts(),
 		StoredBytes:  s.db.StoredBytes(),
 		Evictions:    s.db.Evictions(),
 		DeviceUsedGB: devmem.GB(s.db.Device().Used()),
-		OpenSessions: open,
+		OpenSessions: s.reg.Len(),
 	})
 }
 
 // Close closes every open session.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var firstErr error
-	for id, sess := range s.sessions {
+	for _, sess := range s.reg.Drain() {
 		if err := sess.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		delete(s.sessions, id)
 	}
 	return firstErr
 }
