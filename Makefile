@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet
+.PHONY: all build test race bench bench-alloc fmt vet
 
 all: build vet test
 
@@ -22,6 +22,12 @@ race:
 BENCHTIME ?= 1s
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run '^$$' ./...
+
+# Allocation experiment: legacy vs pooled-scratch decode, tokens/sec and
+# allocs/op, with a machine-readable report for the cross-PR perf trail.
+ALLOC_JSON ?= BENCH_PR2.json
+bench-alloc:
+	$(GO) run ./cmd/alayabench -exp alloc -context 2048 -trials 2 -json $(ALLOC_JSON)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

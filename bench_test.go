@@ -18,12 +18,14 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/devmem"
 	"repro/internal/index"
 	"repro/internal/index/coarse"
 	"repro/internal/index/flat"
 	"repro/internal/index/graph"
 	"repro/internal/index/knn"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/query"
 	"repro/internal/storage/buffer"
 	"repro/internal/vec"
@@ -88,6 +90,131 @@ func benchConcurrentDecode(b *testing.B, globalLock bool) {
 func BenchmarkConcurrentDecode8GlobalMutex(b *testing.B) { benchConcurrentDecode(b, true) }
 func BenchmarkConcurrentDecode8Sharded(b *testing.B)     { benchConcurrentDecode(b, false) }
 func BenchmarkConcurrentServingSweep(b *testing.B)       { runExperiment(b, "concurrent") }
+
+// --- Zero-allocation decode (PR 2 tentpole): allocs/op per decode token ---
+
+func BenchmarkAllocSweep(b *testing.B) { runExperiment(b, "alloc") }
+
+// benchDecodeSession builds the steady-state decode setting (full reuse,
+// DIPR plans, serial pool) and returns per-layer query sets.
+func benchDecodeSession(b *testing.B) (*core.DB, *core.Session, [][][]float32) {
+	b.Helper()
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(cfg.Layers) * int64(cfg.KVHeads) * int64(cfg.HeadDim) * 4 * 2
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        devmem.New(m.WeightsBytes() + 2*winBytes + 4096),
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: 2},
+		Workers:       1,
+		Pool:          pool.Serial(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 17, 2048, 64, 32)
+	if _, err := db.ImportDoc(inst.Doc); err != nil {
+		b.Fatal(err)
+	}
+	sess, _ := db.CreateSession(inst.Doc)
+	qs := make([][][]float32, cfg.Layers)
+	for l := range qs {
+		qs[l] = make([][]float32, cfg.QHeads)
+		for h := range qs[l] {
+			qs[l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+				FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+		}
+	}
+	return db, sess, qs
+}
+
+// BenchmarkDecodeTokenLegacy is the pre-arena allocating decode step
+// (fresh working buffers per head per call): compare its allocs/op against
+// BenchmarkDecodeTokenScratch to see the arena refactor.
+func BenchmarkDecodeTokenLegacy(b *testing.B) {
+	db, sess, qs := benchDecodeSession(b)
+	defer db.Close()
+	defer sess.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range qs {
+			sess.AttentionAllLegacy(l, qs[l])
+		}
+	}
+}
+
+// BenchmarkDecodeTokenScratch is the pooled-arena decode step; steady state
+// is 0 allocs/op.
+func BenchmarkDecodeTokenScratch(b *testing.B) {
+	db, sess, qs := benchDecodeSession(b)
+	defer db.Close()
+	defer sess.Close()
+	outs := make([][]core.AttentionResult, len(qs))
+	for l := range outs {
+		outs[l] = make([]core.AttentionResult, len(qs[l]))
+	}
+	for l := range qs {
+		sess.AttentionAllInto(l, qs[l], outs[l])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := range qs {
+			sess.AttentionAllInto(l, qs[l], outs[l])
+		}
+	}
+}
+
+func BenchmarkDIPRSSearchState(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	g, _ := buildBenchGraph(rng, 8192)
+	q := randomVec(rng, 128)
+	st := query.NewSearchState()
+	query.DIPRSWith(st, g, q, query.DIPRSConfig{Beta: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query.DIPRSWith(st, g, q, query.DIPRSConfig{Beta: 2})
+	}
+}
+
+func BenchmarkAttentionOverScratch64of4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	K := randomMatrix(rng, 4096, 128)
+	V := randomMatrix(rng, 4096, 128)
+	q := randomVec(rng, 128)
+	idx := make([]int, 64)
+	for i := range idx {
+		idx[i] = rng.Intn(4096)
+	}
+	var sc attention.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.OverScratch(&sc, q, K, V, idx)
+	}
+}
+
+func BenchmarkVecDotBatch4096x128(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	K := randomMatrix(rng, 4096, 128)
+	q := randomVec(rng, 128)
+	out := make([]float32, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.DotBatch(q, K, out)
+	}
+}
 
 // --- Micro-benchmarks of the hot paths ---
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
+		jsonOut = flag.String("json", "", "with -exp alloc: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +59,31 @@ func main() {
 		Workers:    *workers,
 		Seed:       *seed,
 		Model:      cfg,
+	}
+
+	if *jsonOut != "" {
+		if *exp != "alloc" {
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc")
+			os.Exit(2)
+		}
+		data, err := bench.AllocReport(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alayabench: alloc: %v\n", err)
+			os.Exit(1)
+		}
+		bench.WriteAllocTable(data, os.Stdout)
+		blob, err := json.MarshalIndent(data, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alayabench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "alayabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[wrote %s]\n", *jsonOut)
+		return
 	}
 
 	names := []string{*exp}

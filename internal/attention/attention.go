@@ -4,6 +4,14 @@
 // subsets with log-sum-exp bookkeeping, and the LSE-weighted merge that the
 // paper's data-centric engine uses to combine partial results computed
 // where the data resides (window on device, retrieved tokens on host).
+//
+// Every kernel comes in two forms. The allocating form (Over, Full, Merge,
+// …) returns fresh slices and is safe to retain. The scratch form
+// (OverScratch, FullScratch, MergeInto, …) computes into a reusable Scratch
+// arena — logits, weights, and outputs live in buffers reused across calls,
+// which is what makes steady-state decode allocation-free. Scratch results
+// alias the arena and must not be retained past the arena's next use; see
+// the Scratch type for the full retention rule.
 package attention
 
 import (
@@ -15,29 +23,16 @@ import (
 
 // Weights returns the full softmax attention distribution of q over every
 // row of K: a_i = softmax(q·k_i/√d). The returned slice has K.Rows()
-// entries.
+// entries. Allocating form of WeightsScratch.
 func Weights(q []float32, K *vec.Matrix) []float32 {
-	n := K.Rows()
-	logits := make([]float32, n)
-	for i := 0; i < n; i++ {
-		logits[i] = vec.ScaledDot(q, K.Row(i))
-	}
-	vec.Softmax(logits, logits)
-	return logits
+	return WeightsScratch(nil, q, K)
 }
 
 // Full computes exact attention output o = Σ softmax(q·K/√d)_i · v_i using
-// the two-pass formulation. K and V must have equal row counts.
+// the two-pass formulation. K and V must have equal row counts. Allocating
+// form of FullScratch.
 func Full(q []float32, K, V *vec.Matrix) []float32 {
-	checkKV(K, V)
-	w := Weights(q, K)
-	out := make([]float32, V.Cols())
-	for i, a := range w {
-		if a != 0 {
-			vec.Axpy(a, V.Row(i), out)
-		}
-	}
-	return out
+	return FullScratch(nil, q, K, V)
 }
 
 // FullOnline computes the same output as Full in a single pass using the
@@ -86,45 +81,15 @@ type Partial struct {
 // Over computes partial attention of q over the rows of K/V listed in idx.
 // Indices may be in any order but must be in range; duplicates would be
 // double-counted, so callers must pass disjoint sets to a subsequent Merge.
+// Allocating form of OverScratch.
 func Over(q []float32, K, V *vec.Matrix, idx []int) Partial {
-	checkKV(K, V)
-	if len(idx) == 0 {
-		return Partial{Output: make([]float32, V.Cols()), LSE: math.Inf(-1)}
-	}
-	logits := make([]float32, len(idx))
-	for j, i := range idx {
-		logits[j] = vec.ScaledDot(q, K.Row(i))
-	}
-	w := make([]float32, len(idx))
-	lse := vec.Softmax(logits, w)
-	out := make([]float32, V.Cols())
-	for j, i := range idx {
-		vec.Axpy(w[j], V.Row(i), out)
-	}
-	return Partial{Output: out, LSE: lse, Count: len(idx)}
+	return OverScratch(nil, q, K, V, idx)
 }
 
 // OverRange computes partial attention over the contiguous rows [lo, hi).
+// Allocating form of OverRangeScratch.
 func OverRange(q []float32, K, V *vec.Matrix, lo, hi int) Partial {
-	checkKV(K, V)
-	if lo < 0 || hi < lo || hi > K.Rows() {
-		panic(fmt.Sprintf("attention: range [%d,%d) out of %d rows", lo, hi, K.Rows()))
-	}
-	n := hi - lo
-	if n == 0 {
-		return Partial{Output: make([]float32, V.Cols()), LSE: math.Inf(-1)}
-	}
-	logits := make([]float32, n)
-	for i := 0; i < n; i++ {
-		logits[i] = vec.ScaledDot(q, K.Row(lo+i))
-	}
-	w := make([]float32, n)
-	lse := vec.Softmax(logits, w)
-	out := make([]float32, V.Cols())
-	for i := 0; i < n; i++ {
-		vec.Axpy(w[i], V.Row(lo+i), out)
-	}
-	return Partial{Output: out, LSE: lse, Count: n}
+	return OverRangeScratch(nil, q, K, V, lo, hi)
 }
 
 // Merge combines partial attention results over disjoint subsets into the
@@ -136,32 +101,7 @@ func Merge(parts ...Partial) []float32 {
 	if len(parts) == 0 {
 		panic("attention: merge of no partials")
 	}
-	maxLSE := math.Inf(-1)
-	for _, p := range parts {
-		if p.LSE > maxLSE {
-			maxLSE = p.LSE
-		}
-	}
-	dim := len(parts[0].Output)
-	out := make([]float32, dim)
-	if math.IsInf(maxLSE, -1) {
-		return out
-	}
-	var denom float64
-	for _, p := range parts {
-		if math.IsInf(p.LSE, -1) {
-			continue
-		}
-		denom += math.Exp(p.LSE - maxLSE)
-	}
-	for _, p := range parts {
-		if math.IsInf(p.LSE, -1) {
-			continue
-		}
-		w := float32(math.Exp(p.LSE-maxLSE) / denom)
-		vec.Axpy(w, p.Output, out)
-	}
-	return out
+	return MergeInto(make([]float32, len(parts[0].Output)), parts)
 }
 
 // Sparse computes attention restricted to the tokens in idx, normalized as
@@ -190,19 +130,7 @@ func Recovery(w []float32, idx []int) float64 {
 // the target recovery ratio, choosing tokens greedily by weight. It is the
 // quantity plotted on Figure 5's red curve.
 func TokensForRecovery(w []float32, target float64) int {
-	if len(w) == 0 || target <= 0 {
-		return 0
-	}
-	s := append([]float32(nil), w...)
-	sortDescending(s)
-	var acc float64
-	for i, v := range s {
-		acc += float64(v)
-		if acc >= target {
-			return i + 1
-		}
-	}
-	return len(w)
+	return TokensForRecoveryScratch(nil, w, target)
 }
 
 func sortDescending(s []float32) {

@@ -1,0 +1,207 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Scratch is the reusable working set of one attention computation: logit,
+// weight, and output buffers that would otherwise be allocated per call. A
+// decode step reuses one Scratch per concurrent worker across every token,
+// which is what makes steady-state decode allocation-free.
+//
+// Retention rule: results produced through a Scratch (Partial.Output, the
+// slices returned by the *Scratch functions) alias the arena and are valid
+// only until the next call that uses the same Scratch. Callers that need a
+// result to outlive the arena must copy it out. A Scratch is not safe for
+// concurrent use; give each goroutine its own (sync.Pool them at the serve
+// layer).
+//
+// The zero value is ready to use. A nil *Scratch is also legal everywhere a
+// Scratch is accepted and simply allocates fresh buffers per call — the
+// allocating compatibility functions (Over, Full, Weights, …) are exactly
+// the nil-Scratch forms.
+type Scratch struct {
+	logits []float32
+	w      []float32
+	out    []float32
+	sorted []float32
+}
+
+// growF32 returns buf resized to n entries, reallocating only on capacity
+// growth. Contents are unspecified.
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// buffers returns the logit, weight, and (zeroed) output buffers for a
+// partial over n tokens in dim dimensions, reusing the arena when sc is
+// non-nil.
+func (sc *Scratch) buffers(n, dim int) (logits, w, out []float32) {
+	if sc == nil {
+		return make([]float32, n), make([]float32, n), make([]float32, dim)
+	}
+	sc.logits = growF32(sc.logits, n)
+	sc.w = growF32(sc.w, n)
+	sc.out = growF32(sc.out, dim)
+	vec.Zero(sc.out)
+	return sc.logits, sc.w, sc.out
+}
+
+// outBuf returns a zeroed dim-sized output buffer from the arena (or fresh
+// when sc is nil).
+func (sc *Scratch) outBuf(dim int) []float32 {
+	if sc == nil {
+		return make([]float32, dim)
+	}
+	sc.out = growF32(sc.out, dim)
+	vec.Zero(sc.out)
+	return sc.out
+}
+
+// scaleLogits divides raw inner products by √d, matching vec.ScaledDot
+// bitwise (division, not multiplication by a reciprocal).
+func scaleLogits(logits []float32, d int) {
+	s := float32(math.Sqrt(float64(d)))
+	for i := range logits {
+		logits[i] /= s
+	}
+}
+
+// WeightsScratch is Weights computing into sc's arena: the returned
+// distribution is valid until sc's next use.
+func WeightsScratch(sc *Scratch, q []float32, K *vec.Matrix) []float32 {
+	n := K.Rows()
+	var logits []float32
+	if sc == nil {
+		logits = make([]float32, n)
+	} else {
+		sc.logits = growF32(sc.logits, n)
+		logits = sc.logits
+	}
+	vec.DotBatch(q, K, logits)
+	scaleLogits(logits, len(q))
+	vec.Softmax(logits, logits)
+	return logits
+}
+
+// FullScratch is Full computing into sc's arena: the returned output is
+// valid until sc's next use.
+func FullScratch(sc *Scratch, q []float32, K, V *vec.Matrix) []float32 {
+	checkKV(K, V)
+	n := K.Rows()
+	logits, w, out := sc.buffers(n, V.Cols())
+	vec.DotBatch(q, K, logits)
+	scaleLogits(logits, len(q))
+	vec.Softmax(logits, w)
+	for i, a := range w {
+		if a != 0 {
+			vec.Axpy(a, V.Row(i), out)
+		}
+	}
+	return out
+}
+
+// OverScratch is Over computing into sc's arena: the Partial's Output is
+// valid until sc's next use.
+func OverScratch(sc *Scratch, q []float32, K, V *vec.Matrix, idx []int) Partial {
+	checkKV(K, V)
+	if len(idx) == 0 {
+		return Partial{Output: sc.outBuf(V.Cols()), LSE: math.Inf(-1)}
+	}
+	logits, w, out := sc.buffers(len(idx), V.Cols())
+	vec.DotGather(q, K, idx, logits)
+	scaleLogits(logits, len(q))
+	lse := vec.Softmax(logits, w)
+	vec.WeightedSumGather(w, V, idx, out)
+	return Partial{Output: out, LSE: lse, Count: len(idx)}
+}
+
+// OverRangeScratch is OverRange computing into sc's arena: the Partial's
+// Output is valid until sc's next use.
+func OverRangeScratch(sc *Scratch, q []float32, K, V *vec.Matrix, lo, hi int) Partial {
+	checkKV(K, V)
+	if lo < 0 || hi < lo || hi > K.Rows() {
+		panic(fmt.Sprintf("attention: range [%d,%d) out of %d rows", lo, hi, K.Rows()))
+	}
+	n := hi - lo
+	if n == 0 {
+		return Partial{Output: sc.outBuf(V.Cols()), LSE: math.Inf(-1)}
+	}
+	logits, w, out := sc.buffers(n, V.Cols())
+	vec.DotBatchRange(q, K, lo, hi, logits)
+	scaleLogits(logits, len(q))
+	lse := vec.Softmax(logits, w)
+	vec.WeightedSumRange(w, V, lo, hi, out)
+	return Partial{Output: out, LSE: lse, Count: n}
+}
+
+// SparseScratch is Sparse computing into sc's arena.
+func SparseScratch(sc *Scratch, q []float32, K, V *vec.Matrix, idx []int) []float32 {
+	return OverScratch(sc, q, K, V, idx).Output
+}
+
+// MergeInto combines partials exactly as Merge does, accumulating into dst
+// (which must be sized to the output dimensionality and is zeroed first).
+// It returns dst. Unlike Merge it never allocates, so a reused dst plus
+// Scratch-computed partials make the whole partial-compute-merge pipeline
+// garbage-free.
+func MergeInto(dst []float32, parts []Partial) []float32 {
+	if len(parts) == 0 {
+		panic("attention: merge of no partials")
+	}
+	vec.Zero(dst)
+	maxLSE := math.Inf(-1)
+	for _, p := range parts {
+		if p.LSE > maxLSE {
+			maxLSE = p.LSE
+		}
+	}
+	if math.IsInf(maxLSE, -1) {
+		return dst
+	}
+	var denom float64
+	for _, p := range parts {
+		if math.IsInf(p.LSE, -1) {
+			continue
+		}
+		denom += math.Exp(p.LSE - maxLSE)
+	}
+	for _, p := range parts {
+		if math.IsInf(p.LSE, -1) {
+			continue
+		}
+		w := float32(math.Exp(p.LSE-maxLSE) / denom)
+		vec.Axpy(w, p.Output, dst)
+	}
+	return dst
+}
+
+// TokensForRecoveryScratch is TokensForRecovery sorting inside sc's arena
+// instead of copying w into a fresh slice per call.
+func TokensForRecoveryScratch(sc *Scratch, w []float32, target float64) int {
+	if len(w) == 0 || target <= 0 {
+		return 0
+	}
+	var s []float32
+	if sc == nil {
+		s = append([]float32(nil), w...)
+	} else {
+		sc.sorted = append(sc.sorted[:0], w...)
+		s = sc.sorted
+	}
+	sortDescending(s)
+	var acc float64
+	for i, v := range s {
+		acc += float64(v)
+		if acc >= target {
+			return i + 1
+		}
+	}
+	return len(w)
+}

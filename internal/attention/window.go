@@ -12,21 +12,28 @@ type Window struct {
 // tokens, in ascending order. If the window covers the whole context the
 // result is simply 0..n-1.
 func (w Window) Indices(n int) []int {
+	out := make([]int, 0, w.Size(n))
+	w.VisitIndices(n, func(i int) { out = append(out, i) })
+	return out
+}
+
+// VisitIndices calls fn for each position covered by the window in a
+// context of n tokens, in ascending order, without allocating. It is the
+// single source of the sink+recent selection rule; Indices is its
+// allocating form.
+func (w Window) VisitIndices(n int, fn func(i int)) {
 	if w.Sinks+w.Recent >= n {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return out
+		return
 	}
-	out := make([]int, 0, w.Sinks+w.Recent)
 	for i := 0; i < w.Sinks; i++ {
-		out = append(out, i)
+		fn(i)
 	}
 	for i := n - w.Recent; i < n; i++ {
-		out = append(out, i)
+		fn(i)
 	}
-	return out
 }
 
 // Contains reports whether position i falls inside the window of a context

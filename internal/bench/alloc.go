@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("alloc", "per-token decode allocation: legacy allocating path vs pooled scratch arenas (allocs/op, bytes/op, throughput)", runAlloc)
+}
+
+// AllocRow is one measured configuration of the allocation experiment.
+type AllocRow struct {
+	// Name identifies the path: decode/legacy, decode/scratch,
+	// diprs/legacy, diprs/state.
+	Name string `json:"name"`
+	// AllocsPerOp is heap allocations per operation (per decode token for
+	// the decode rows, per search for the diprs rows).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// OpsPerSec is single-threaded operation throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// AllocReportData is the machine-readable artefact of the alloc experiment
+// (written to BENCH_PR2.json by CI): the per-path allocation rows plus the
+// aggregate concurrent decode throughput tracked across PRs.
+type AllocReportData struct {
+	ContextLen int        `json:"context_len"`
+	Layers     int        `json:"layers"`
+	QHeads     int        `json:"q_heads"`
+	Rows       []AllocRow `json:"rows"`
+	// DecodeAllocReduction is legacy allocs/op over scratch allocs/op
+	// (capped at legacy allocs when the scratch path hits zero).
+	DecodeAllocReduction float64 `json:"decode_alloc_reduction"`
+	// Concurrent8TokensPerSec is the 8-session sharded-locking aggregate
+	// decode throughput of the PR 1 `concurrent` experiment, re-measured so
+	// the perf trajectory stays comparable across PRs.
+	Concurrent8TokensPerSec float64 `json:"concurrent8_tokens_per_sec"`
+}
+
+// measureOps runs f ops times with GC deferred and returns allocation and
+// throughput counters. Single-goroutine by construction: the caller wires a
+// Serial pool, so MemStats deltas are attributable to f alone.
+func measureOps(name string, ops int, f func()) AllocRow {
+	prev := debug.SetGCPercent(-1)
+	defer func() {
+		debug.SetGCPercent(prev)
+		runtime.GC()
+	}()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return AllocRow{
+		Name:        name,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+	}
+}
+
+// AllocReport measures the decode and DIPRS hot paths in their legacy
+// (allocating) and arena (scratch) forms at scale s, plus the aggregate
+// concurrent throughput, and returns the comparison.
+func AllocReport(s Scale) (*AllocReportData, error) {
+	s.Defaults()
+	m := model.New(s.Model)
+	mc := m.Config()
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(mc.Layers) * int64(mc.KVHeads) * int64(mc.HeadDim) * 4 * 2
+	// The device fits the weights and session window but never the coarse
+	// block cache, so every long query plans DIPR — the retrieval path this
+	// PR makes allocation-free (flat scan on layer 0, graph elsewhere).
+	dev := devmem.New(m.WeightsBytes() + 2*winBytes + 4096)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        dev,
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers},
+		Workers:       1,             // serial scans: measured allocs are the path's own
+		Pool:          pool.Serial(), // inline fan-out: no goroutine machinery in the counts
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	ctx, err := db.ImportDoc(inst.Doc)
+	if err != nil {
+		return nil, err
+	}
+	sess, reused := db.CreateSession(inst.Doc)
+	if reused != inst.Doc.Len() {
+		return nil, fmt.Errorf("alloc: session reused %d of %d tokens", reused, inst.Doc.Len())
+	}
+	defer sess.Close()
+
+	qs := make([][][]float32, mc.Layers)
+	for l := range qs {
+		qs[l] = make([][]float32, mc.QHeads)
+		for h := range qs[l] {
+			qs[l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+				FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+		}
+	}
+	outs := make([][]core.AttentionResult, mc.Layers)
+	for l := range outs {
+		outs[l] = make([]core.AttentionResult, mc.QHeads)
+	}
+
+	legacyStep := func() {
+		for l := 0; l < mc.Layers; l++ {
+			sess.AttentionAllLegacy(l, qs[l])
+		}
+	}
+	scratchStep := func() {
+		for l := 0; l < mc.Layers; l++ {
+			sess.AttentionAllInto(l, qs[l], outs[l])
+		}
+	}
+	tokens := 4 * s.Trials
+	scratchStep() // warm the arenas and result buffers
+	data := &AllocReportData{ContextLen: inst.Doc.Len(), Layers: mc.Layers, QHeads: mc.QHeads}
+	data.Rows = append(data.Rows, measureOps("decode/legacy", tokens, legacyStep))
+	data.Rows = append(data.Rows, measureOps("decode/scratch", tokens, scratchStep))
+
+	// Warm DIPRS search, legacy vs reusable state, against the deepest
+	// layer's graph (the fine-index decode path).
+	layer := mc.Layers - 1
+	g := ctx.Graph(db, layer, 0)
+	if g == nil {
+		return nil, fmt.Errorf("alloc: no graph index for layer %d", layer)
+	}
+	q := qs[layer][0]
+	dcfg := query.DIPRSConfig{Beta: query.Beta(0.5, mc.HeadDim), MaxResults: 128, MaxExplore: 512}
+	st := query.NewSearchState()
+	query.DIPRSWith(st, g, q, dcfg) // warm
+	searches := 50 * s.Trials
+	data.Rows = append(data.Rows, measureOps("diprs/legacy", searches, func() {
+		query.DIPRS(g, q, dcfg)
+	}))
+	data.Rows = append(data.Rows, measureOps("diprs/state", searches, func() {
+		query.DIPRSWith(st, g, q, dcfg)
+	}))
+
+	legacyAllocs := data.Rows[0].AllocsPerOp
+	scratchAllocs := data.Rows[1].AllocsPerOp
+	if scratchAllocs < 1 {
+		scratchAllocs = 1 // zero-alloc steady state: report the full factor
+	}
+	data.DecodeAllocReduction = legacyAllocs / scratchAllocs
+
+	// Aggregate concurrent serving throughput, same configuration as PR 1's
+	// `concurrent` experiment (sharded locking, 8 sessions).
+	tps, err := MeasureConcurrent(s, ConcurrentOptions{Sessions: 8, StepsPerSession: 2 * s.Trials})
+	if err != nil {
+		return nil, err
+	}
+	data.Concurrent8TokensPerSec = tps
+	return data, nil
+}
+
+// WriteAllocTable renders the report as the experiment's textual artefact.
+func WriteAllocTable(data *AllocReportData, w io.Writer) {
+	fmt.Fprintf(w, "Zero-allocation decode: context %d, %d layers x %d heads per token\n\n",
+		data.ContextLen, data.Layers, data.QHeads)
+	t := &table{header: []string{"path", "allocs/op", "bytes/op", "ops/sec"}}
+	for _, r := range data.Rows {
+		t.add(r.Name, fmt.Sprintf("%.1f", r.AllocsPerOp), fmt.Sprintf("%.0f", r.BytesPerOp), fmt.Sprintf("%.1f", r.OpsPerSec))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\ndecode allocs/op reduced %.0fx; 8-session sharded decode %.1f tok/s\n",
+		data.DecodeAllocReduction, data.Concurrent8TokensPerSec)
+	fmt.Fprintln(w, "expectation: decode/scratch and diprs/state report 0 allocs/op; ops/sec no worse than legacy")
+}
+
+// runAlloc is the experiment runner.
+func runAlloc(s Scale, w io.Writer) error {
+	data, err := AllocReport(s)
+	if err != nil {
+		return err
+	}
+	WriteAllocTable(data, w)
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with the race detector,
+// which deliberately randomizes sync.Pool reuse — allocation counts are not
+// meaningful there.
+const raceEnabled = true

@@ -15,6 +15,35 @@ import (
 	"repro/internal/query"
 )
 
+// decodeState bundles every reusable buffer one attention computation
+// needs: the two partial-attention scratch arenas (prefix and tail), the
+// DIPRS search state, the flat-scan scratch, the dedup bitset, and the
+// index buffers the plan executor fills. States are drawn from a
+// sync.Pool, so a steady-state decode loop — serial or fanned across the
+// worker pool — reuses the same handful of states token after token and
+// allocates nothing. A state serves one attention call at a time.
+type decodeState struct {
+	scPrefix  attention.Scratch
+	scTail    attention.Scratch
+	parts     [2]attention.Partial
+	search    query.SearchState
+	flat      flat.Scratch
+	seen      index.VisitSet
+	winPrefix []int
+	prefixIdx []int
+	ids       []int
+}
+
+var decodeStatePool = sync.Pool{New: func() interface{} { return new(decodeState) }}
+
+func getDecodeState() *decodeState   { return decodeStatePool.Get().(*decodeState) }
+func putDecodeState(ds *decodeState) { decodeStatePool.Put(ds) }
+
+// Untyped forms passed to pool.ForEachScratch; package-level function
+// values, so handing them over allocates nothing.
+func getDecodeStateAny() interface{}  { return decodeStatePool.Get() }
+func putDecodeStateAny(v interface{}) { decodeStatePool.Put(v) }
+
 // Session connects a (possibly reused) stored context with a running
 // inference request (§5). A session's context is split at reuseLen: tokens
 // below it live in the reused stored context (searchable through its
@@ -172,25 +201,24 @@ type AttentionResult struct {
 
 // Attention computes the attention output of q for (layer, qHead) over the
 // session's whole context — the Session.attention API of Table 2. The
-// execution plan is chosen by the rule-based optimizer (Figure 8).
+// execution plan is chosen by the rule-based optimizer (Figure 8). The
+// result's slices are freshly allocated and safe to retain; decode loops
+// that want the allocation-free path use AttentionInto.
 func (s *Session) Attention(layer, qHead int, q []float32) AttentionResult {
-	n := s.ContextLen(layer)
-	plan := query.Optimize(query.Request{
-		ContextLen:    n,
-		LongThreshold: s.db.cfg.LongThreshold,
-		PartialReuse:  s.PartialReuse(),
-		DeviceFree:    s.deviceFree(),
-		CoarseNeed:    s.coarseNeed(),
-		Layer:         layer,
-	})
-	res := s.execute(plan, layer, qHead, q, n)
-	s.mu.Lock()
-	s.stats.Plans[res.Plan.String()]++
-	s.stats.Retrieved += int64(res.Retrieved)
-	s.stats.Explored += int64(res.Explored)
-	s.stats.Queries++
-	s.mu.Unlock()
+	var res AttentionResult
+	s.AttentionInto(layer, qHead, q, &res)
 	return res
+}
+
+// AttentionInto is Attention writing into *res, reusing res.Output and
+// res.RetrievedIDs storage across calls: a decode loop that keeps one
+// result per head sees zero allocations per token once buffers are warm.
+// Previous contents of res are overwritten; callers that retain a result
+// beyond the next AttentionInto on the same res must copy it.
+func (s *Session) AttentionInto(layer, qHead int, q []float32, res *AttentionResult) {
+	ds := getDecodeState()
+	s.attentionInto(ds, layer, qHead, q, res)
+	putDecodeState(ds)
 }
 
 // AttentionAll computes attention for every query head of a layer, fanning
@@ -202,13 +230,102 @@ func (s *Session) Attention(layer, qHead int, q []float32) AttentionResult {
 // counters); under a tight device budget, plan selection samples the
 // racing free-byte count, so which heads win a coarse block cache may vary
 // with scheduling, exactly as it would across concurrently served
-// requests.
+// requests. Result slices are freshly allocated; decode loops use
+// AttentionAllInto.
 func (s *Session) AttentionAll(layer int, qs [][]float32) []AttentionResult {
 	out := make([]AttentionResult, len(qs))
-	s.db.cfg.Pool.ForEach(len(qs), func(h int) {
-		out[h] = s.Attention(layer, h, qs[h])
-	})
+	s.AttentionAllInto(layer, qs, out)
 	return out
+}
+
+// AttentionAllInto is AttentionAll writing into out (len(out) must equal
+// len(qs)), reusing each entry's buffers as AttentionInto does. Heads fan
+// across the DB's worker pool with one pooled decode state per worker; on
+// the Serial pool the whole fan-out runs inline on one state with no
+// allocation at all.
+func (s *Session) AttentionAllInto(layer int, qs [][]float32, out []AttentionResult) {
+	if len(out) != len(qs) {
+		panic(fmt.Sprintf("core: AttentionAllInto got %d result slots for %d heads", len(out), len(qs)))
+	}
+	p := s.db.cfg.Pool
+	if p.Size() == 0 || len(qs) == 1 {
+		ds := getDecodeState()
+		for h := range qs {
+			s.attentionInto(ds, layer, h, qs[h], &out[h])
+		}
+		putDecodeState(ds)
+		return
+	}
+	p.ForEachScratch(len(qs), getDecodeStateAny, putDecodeStateAny,
+		func(sc interface{}, h int) {
+			s.attentionInto(sc.(*decodeState), layer, h, qs[h], &out[h])
+		})
+}
+
+// AttentionAllLegacy computes AttentionAll the way the pre-arena code did:
+// every working buffer — scratch arenas, search state, dedup set, result
+// slices — is freshly allocated per head instead of drawn from the decode
+// state pool. It is the baseline the alloc benchmarks compare the arena
+// path against; decode loops use AttentionAllInto.
+func (s *Session) AttentionAllLegacy(layer int, qs [][]float32) []AttentionResult {
+	out := make([]AttentionResult, len(qs))
+	for h := range qs {
+		s.attentionInto(new(decodeState), layer, h, qs[h], &out[h])
+	}
+	return out
+}
+
+// attentionInto plans and executes one head's attention through ds's
+// arenas, writing the result into *res.
+func (s *Session) attentionInto(ds *decodeState, layer, qHead int, q []float32, res *AttentionResult) {
+	n := s.ContextLen(layer)
+	plan := query.Optimize(query.Request{
+		ContextLen:    n,
+		LongThreshold: s.db.cfg.LongThreshold,
+		PartialReuse:  s.PartialReuse(),
+		DeviceFree:    s.deviceFree(),
+		CoarseNeed:    s.coarseNeed(),
+		Layer:         layer,
+	})
+	kv := s.db.cfg.Model.KVGroup(qHead)
+	s.windowPrefixInto(ds, n)
+
+	var retrieved []int
+	explored := 0
+	switch plan.Query {
+	case query.KindFull:
+		// Everything participates; no retrieval.
+	case query.KindTopK:
+		if idx, ok := s.coarseIndex(layer, kv); ok {
+			retrieved = idx.SelectTokens(q, s.db.cfg.CoarseBudget)
+			explored = idx.Blocks()
+		} else {
+			// Device could not hold the coarse working set after all:
+			// downgrade to the fine path.
+			s.mu.Lock()
+			s.stats.CoarseFallbacks++
+			s.mu.Unlock()
+			plan.Query = query.KindDIPR
+			plan.Index = query.IndexFine
+		}
+	}
+	if plan.Query == query.KindDIPR {
+		retrieved, explored = s.executeDIPR(ds, plan, layer, qHead, kv, q)
+	}
+
+	attended := s.sparseOutputInto(ds, plan, layer, kv, q, res, retrieved)
+	res.Plan = plan
+	res.Retrieved = len(retrieved)
+	res.RetrievedIDs = append(res.RetrievedIDs[:0], retrieved...)
+	res.Explored = explored
+	res.Attended = attended
+
+	s.mu.Lock()
+	s.stats.Plans[plan.String()]++
+	s.stats.Retrieved += int64(res.Retrieved)
+	s.stats.Explored += int64(res.Explored)
+	s.stats.Queries++
+	s.mu.Unlock()
 }
 
 func (s *Session) deviceFree() int64 {
@@ -233,51 +350,12 @@ func (s *Session) coarseNeed() int64 {
 	return budget + reps
 }
 
-// execute runs a plan. All retrieval happens against the reused stored
-// context (positions < reuseLen); tail tokens and the window always
-// participate in the attention output.
-func (s *Session) execute(plan query.Plan, layer, qHead int, q []float32, n int) AttentionResult {
-	var retrieved []int
-	explored := 0
-	kv := s.db.cfg.Model.KVGroup(qHead)
-
-	switch plan.Query {
-	case query.KindFull:
-		// Everything participates; no retrieval.
-	case query.KindTopK:
-		if idx, ok := s.coarseIndex(layer, kv); ok {
-			retrieved = idx.SelectTokens(q, s.db.cfg.CoarseBudget)
-			explored = idx.Blocks()
-		} else {
-			// Device could not hold the coarse working set after all:
-			// downgrade to the fine path.
-			s.mu.Lock()
-			s.stats.CoarseFallbacks++
-			s.mu.Unlock()
-			plan.Query = query.KindDIPR
-			plan.Index = query.IndexFine
-		}
-	}
-	if plan.Query == query.KindDIPR {
-		retrieved, explored = s.executeDIPR(plan, layer, qHead, kv, q)
-	}
-
-	out, attended := s.sparseOutput(plan, layer, kv, q, n, retrieved)
-	return AttentionResult{
-		Output:       out,
-		Plan:         plan,
-		Retrieved:    len(retrieved),
-		RetrievedIDs: retrieved,
-		Explored:     explored,
-		Attended:     attended,
-	}
-}
-
 // executeDIPR retrieves the β-critical set from the reused prefix via the
-// planned index. The attended set is bounded to an eighth of the prefix
-// (min 64): diffuse heads' β-bands can span much of the context, and like
-// InfLLM's block budget, production retrieval is bounded.
-func (s *Session) executeDIPR(plan query.Plan, layer, qHead, kv int, q []float32) ([]int, int) {
+// planned index, through ds's search arenas. The attended set is bounded to
+// an eighth of the prefix (min 64): diffuse heads' β-bands can span much of
+// the context, and like InfLLM's block budget, production retrieval is
+// bounded. The returned ids alias ds.
+func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv int, q []float32) ([]int, int) {
 	if s.base == nil || s.reuseLen == 0 {
 		return nil, 0
 	}
@@ -289,12 +367,7 @@ func (s *Session) executeDIPR(plan query.Plan, layer, qHead, kv int, q []float32
 	}
 
 	if plan.Index == query.IndexFlat {
-		fx := flat.New(s.base.cache.Keys(layer, kv), s.db.cfg.Workers)
-		cands, _ := fx.DIPRFiltered(q, beta, limit)
-		if len(cands) > resultCap {
-			cands = cands[:resultCap] // best-first: keep the top of the band
-		}
-		return index.IDs(cands), limit
+		return s.flatDIPR(ds, layer, kv, q, beta, limit, resultCap), limit
 	}
 
 	g := s.base.Graph(s.db, layer, qHead)
@@ -302,100 +375,122 @@ func (s *Session) executeDIPR(plan query.Plan, layer, qHead, kv int, q []float32
 		s.mu.Lock()
 		s.stats.FlatFallbacks++
 		s.mu.Unlock()
-		fx := flat.New(s.base.cache.Keys(layer, kv), s.db.cfg.Workers)
-		cands, _ := fx.DIPRFiltered(q, beta, limit)
-		if len(cands) > resultCap {
-			cands = cands[:resultCap]
-		}
-		return index.IDs(cands), limit
+		return s.flatDIPR(ds, layer, kv, q, beta, limit, resultCap), limit
 	}
 
 	cfg := query.DIPRSConfig{Beta: beta, MaxResults: resultCap, MaxExplore: 4 * resultCap}
 	// Window-cache enhancement (§7.1): seed the running maximum with the
 	// best inner product inside the device window's prefix part.
-	winPrefix, _ := s.windowSplit(s.ContextLen(layer))
-	if max, ok := query.WindowMax(q, s.base.cache.Keys(layer, kv), winPrefix); ok {
+	if max, ok := query.WindowMax(q, s.base.cache.Keys(layer, kv), ds.winPrefix); ok {
 		cfg.InitialMax = max
 		cfg.HasInitialMax = true
 	}
 	if plan.Filtered {
+		// The predicate closure is the one allocation left on the
+		// partial-reuse path; full-reuse decode stays allocation-free.
 		lim := int32(limit)
 		cfg.Filter = func(id int32) bool { return id < lim }
 	}
-	res := query.DIPRS(g, q, cfg)
-	ids := make([]int, 0, len(res.Critical))
-	for _, c := range res.Critical {
+	r := query.DIPRSWith(&ds.search, g, q, cfg)
+	ids := ds.ids[:0]
+	for _, c := range r.Critical {
 		if int(c.ID) < limit { // unfiltered plans may index beyond the prefix
 			ids = append(ids, int(c.ID))
 		}
 	}
-	return ids, res.Explored
+	ds.ids = ids
+	return ids, r.Explored
 }
 
-// windowSplit returns the device window's token positions split into the
-// reused-prefix part and the tail part (as tail-local positions).
-func (s *Session) windowSplit(n int) (prefix, tailLocal []int) {
-	for _, i := range s.db.cfg.Window.Indices(n) {
-		if i < s.reuseLen {
-			prefix = append(prefix, i)
-		} else {
-			tailLocal = append(tailLocal, i-s.reuseLen)
-		}
+// flatDIPR runs the exact band scan over the reused prefix through ds's
+// flat scratch. The returned ids alias ds.
+func (s *Session) flatDIPR(ds *decodeState, layer, kv int, q []float32, beta float32, limit, resultCap int) []int {
+	fx := flat.Make(s.base.cache.Keys(layer, kv), s.db.cfg.Workers)
+	cands, _ := fx.DIPRFilteredScratch(&ds.flat, q, beta, limit)
+	if len(cands) > resultCap {
+		cands = cands[:resultCap] // best-first: keep the top of the band
 	}
-	return prefix, tailLocal
+	ids := ds.ids[:0]
+	for _, c := range cands {
+		ids = append(ids, int(c.ID))
+	}
+	ds.ids = ids
+	return ids
 }
 
-// sparseOutput merges partial attention over (i) the retrieved and
-// windowed positions of the reused prefix and (ii) the session tail, each
-// computed where the data resides (§7.2 data-centric attention).
-func (s *Session) sparseOutput(plan query.Plan, layer, kv int, q []float32, n int, retrieved []int) ([]float32, int) {
-	winPrefix, _ := s.windowSplit(n)
+// windowPrefixInto collects into ds.winPrefix the device-window positions
+// that fall inside the reused prefix for a context of n tokens. Window
+// positions past the prefix need no bookkeeping: the tail partial covers
+// every tail token.
+func (s *Session) windowPrefixInto(ds *decodeState, n int) {
+	ds.winPrefix = ds.winPrefix[:0]
+	reuseLen := s.reuseLen
+	s.db.cfg.Window.VisitIndices(n, func(i int) {
+		if i < reuseLen {
+			ds.winPrefix = append(ds.winPrefix, i)
+		}
+	})
+}
 
-	var prefixIdx []int
+// sparseOutputInto merges partial attention over (i) the retrieved and
+// windowed positions of the reused prefix and (ii) the session tail, each
+// computed where the data resides (§7.2 data-centric attention), into
+// res.Output. On a spawning pool the two sides overlap through pool.Run —
+// the prefix partial on the host, the tail next to the device window, each
+// in its own arena (scPrefix/scTail). On the Serial pool they run
+// back-to-back on this goroutine with no closure constructed, keeping the
+// measured decode step allocation-free once warm; there, decode
+// parallelism comes from the per-head fan-out in AttentionAllInto. It
+// returns the attended token count.
+func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv int, q []float32, res *AttentionResult, retrieved []int) int {
+	prefixIdx := ds.prefixIdx[:0]
 	if plan.Query == query.KindFull {
-		limit := s.reuseLen
-		prefixIdx = make([]int, limit)
-		for i := range prefixIdx {
-			prefixIdx[i] = i
+		for i := 0; i < s.reuseLen; i++ {
+			prefixIdx = append(prefixIdx, i)
 		}
 	} else {
-		seen := make(map[int]bool, len(retrieved)+len(winPrefix))
-		for _, i := range winPrefix {
-			seen[i] = true
+		// Window positions first, then retrieved positions not already in
+		// the window: the dedup set is an epoch-cleared bitset over the
+		// prefix, not a per-call map.
+		ds.seen.Reset(s.reuseLen)
+		for _, i := range ds.winPrefix {
+			ds.seen.Add(i)
 			prefixIdx = append(prefixIdx, i)
 		}
 		for _, i := range retrieved {
-			if !seen[i] {
-				seen[i] = true
+			if ds.seen.Visit(i) {
 				prefixIdx = append(prefixIdx, i)
 			}
 		}
 	}
-
+	ds.prefixIdx = prefixIdx
 	tailLen := s.tail.SeqLen(layer)
-	tailIdx := make([]int, tailLen)
-	for i := range tailIdx {
-		tailIdx[i] = i
+
+	if p := s.db.cfg.Pool; p.Size() > 0 && s.base != nil && len(prefixIdx) > 0 {
+		p.Run(
+			func() {
+				ds.parts[0] = attention.OverScratch(&ds.scPrefix, q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+			},
+			func() {
+				ds.parts[1] = attention.OverRangeScratch(&ds.scTail, q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), 0, tailLen)
+			},
+		)
+	} else {
+		if s.base != nil && len(prefixIdx) > 0 {
+			ds.parts[0] = attention.OverScratch(&ds.scPrefix, q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+		} else {
+			ds.parts[0] = attention.Partial{LSE: math.Inf(-1)}
+		}
+		ds.parts[1] = attention.OverRangeScratch(&ds.scTail, q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), 0, tailLen)
 	}
 
-	// The reused prefix lives on the host, the tail next to the device
-	// window: compute each partial where its data resides and merge by LSE
-	// (§7.2). The pool overlaps the two sides when a slot is free.
-	var prefixPart, tailPart attention.Partial
-	s.db.cfg.Pool.Run(
-		func() {
-			if s.base != nil && len(prefixIdx) > 0 {
-				prefixPart = attention.Over(q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
-			} else {
-				prefixPart = attention.Partial{Output: make([]float32, len(q)), LSE: math.Inf(-1)}
-			}
-		},
-		func() {
-			tailPart = attention.Over(q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), tailIdx)
-		},
-	)
-
-	return attention.Merge(prefixPart, tailPart), len(prefixIdx) + tailLen
+	if cap(res.Output) < len(q) {
+		res.Output = make([]float32, len(q))
+	} else {
+		res.Output = res.Output[:len(q)]
+	}
+	attention.MergeInto(res.Output, ds.parts[:])
+	return len(prefixIdx) + tailLen
 }
 
 // coarseIndex lazily builds (and device-registers) the coarse index for

@@ -3,6 +3,12 @@
 // and — unlike the coarse index — is exact. The optimizer routes layer-1
 // DIPR queries here because the first layer's diffuse heads need so many
 // tokens that graph traversal would be slower than a scan (Table 4).
+//
+// Scans score keys through vec.DotBatchRange, walking the key matrix's
+// backing array in row blocks. The DIPR path has a scratch form
+// (DIPRFilteredScratch) whose score buffer, selection heap, and result
+// slice live in a caller-owned Scratch reused across queries, making warm
+// scans allocation-free.
 package flat
 
 import (
@@ -14,7 +20,8 @@ import (
 
 // Index scans a key matrix. It holds a reference to the matrix (no copy);
 // the matrix must not shrink while the index is in use. Appending rows is
-// allowed — the scan reads the current length.
+// allowed — the scan reads the current length. The zero-cost way to obtain
+// one per query is Make, which returns a value.
 type Index struct {
 	keys *vec.Matrix
 	// Workers bounds scan parallelism; 0 means single-threaded.
@@ -24,17 +31,34 @@ type Index struct {
 // New returns a flat index over keys with the given parallelism (workers
 // <= 1 means serial).
 func New(keys *vec.Matrix, workers int) *Index {
+	x := Make(keys, workers)
+	return &x
+}
+
+// Make is New returning a value instead of a heap pointer, so hot paths can
+// construct a per-query index without allocating.
+func Make(keys *vec.Matrix, workers int) Index {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Index{keys: keys, workers: workers}
+	return Index{keys: keys, workers: workers}
+}
+
+// Scratch holds the reusable working set of one scanning goroutine: the
+// per-key score buffer, the selection heap, and the sorted result slice.
+// Results returned by the *Scratch methods alias the arena and are valid
+// only until its next use. Not safe for concurrent use.
+type Scratch struct {
+	scores []float32
+	heap   index.MinHeap
+	out    []index.Candidate
 }
 
 // Len returns the number of indexed vectors.
-func (x *Index) Len() int { return x.keys.Rows() }
+func (x Index) Len() int { return x.keys.Rows() }
 
 // TopK returns the k highest-inner-product candidates, best first.
-func (x *Index) TopK(q []float32, k int) []index.Candidate {
+func (x Index) TopK(q []float32, k int) []index.Candidate {
 	n := x.keys.Rows()
 	if k > n {
 		k = n
@@ -85,13 +109,21 @@ func (x *Index) TopK(q []float32, k int) []index.Candidate {
 // maximum inner product over the whole index — the exact result of the
 // Dynamic Inner-Product Range query (Definition 3). The result is sorted
 // best first. It also returns the maximum inner product found.
-func (x *Index) DIPR(q []float32, beta float32) ([]index.Candidate, float32) {
+func (x Index) DIPR(q []float32, beta float32) ([]index.Candidate, float32) {
 	return x.DIPRFiltered(q, beta, x.keys.Rows())
 }
 
 // DIPRFiltered is DIPR restricted to positions < limit (the attribute
 // filtering predicate of §7.1: token id below the reused prefix length).
-func (x *Index) DIPRFiltered(q []float32, beta float32, limit int) ([]index.Candidate, float32) {
+// Allocating form of DIPRFilteredScratch.
+func (x Index) DIPRFiltered(q []float32, beta float32, limit int) ([]index.Candidate, float32) {
+	var sc Scratch
+	return x.DIPRFilteredScratch(&sc, q, beta, limit)
+}
+
+// DIPRFilteredScratch is DIPRFiltered computing through sc's arena: the
+// returned candidate slice aliases sc and is valid until its next use.
+func (x Index) DIPRFilteredScratch(sc *Scratch, q []float32, beta float32, limit int) ([]index.Candidate, float32) {
 	n := x.keys.Rows()
 	if limit < n {
 		n = limit
@@ -99,23 +131,31 @@ func (x *Index) DIPRFiltered(q []float32, beta float32, limit int) ([]index.Cand
 	if n <= 0 {
 		return nil, 0
 	}
-	scores := make([]float32, n)
+	if cap(sc.scores) < n {
+		sc.scores = make([]float32, n)
+	}
+	scores := sc.scores[:n]
 	best := float32(0)
-	scan := func(lo, hi int) float32 {
-		localBest := vec.Dot(q, x.keys.Row(lo))
-		scores[lo] = localBest
-		for i := lo + 1; i < hi; i++ {
-			s := vec.Dot(q, x.keys.Row(i))
-			scores[i] = s
-			if s > localBest {
-				localBest = s
+	if x.workers == 1 || n < 4096 {
+		// Serial path: no closures, so a warm scratch scan is allocation-free.
+		vec.DotBatchRange(q, x.keys, 0, n, scores)
+		best = scores[0]
+		for _, s := range scores[1:] {
+			if s > best {
+				best = s
 			}
 		}
-		return localBest
-	}
-	if x.workers == 1 || n < 4096 {
-		best = scan(0, n)
 	} else {
+		scan := func(lo, hi int) float32 {
+			vec.DotBatchRange(q, x.keys, lo, hi, scores[lo:hi])
+			localBest := scores[lo]
+			for _, s := range scores[lo+1 : hi] {
+				if s > localBest {
+					localBest = s
+				}
+			}
+			return localBest
+		}
 		bests := make([]float32, x.workers)
 		var wg sync.WaitGroup
 		chunk := (n + x.workers - 1) / x.workers
@@ -143,23 +183,29 @@ func (x *Index) DIPRFiltered(q []float32, beta float32, limit int) ([]index.Cand
 		}
 	}
 	threshold := best - beta
-	var out index.MinHeap
+	h := sc.heap[:0]
 	for i := 0; i < n; i++ {
 		if scores[i] >= threshold {
-			out = append(out, index.Candidate{ID: int32(i), Score: scores[i]})
+			h.PushValue(index.Candidate{ID: int32(i), Score: scores[i]})
 		}
 	}
-	// Heapify then drain for a best-first ordering.
-	h := out
-	res := make(index.MinHeap, 0, len(h))
-	for _, c := range h {
-		res.PushBounded(c, len(h))
-	}
-	return res.Sorted(), best
+	sc.heap = h[:0] // retain grown capacity for the next query
+	sc.out = h.SortedInto(sc.out)
+	return sc.out, best
 }
 
-func (x *Index) scanRange(q []float32, lo, hi int, emit func(int32, float32)) {
-	for i := lo; i < hi; i++ {
-		emit(int32(i), vec.Dot(q, x.keys.Row(i)))
+// scanRange scores rows [lo, hi) block-wise and emits each (id, score).
+func (x Index) scanRange(q []float32, lo, hi int, emit func(int32, float32)) {
+	const tileRows = 64
+	var tile [tileRows]float32
+	for b := lo; b < hi; b += tileRows {
+		e := b + tileRows
+		if e > hi {
+			e = hi
+		}
+		vec.DotBatchRange(q, x.keys, b, e, tile[:e-b])
+		for i := b; i < e; i++ {
+			emit(int32(i), tile[i-b])
+		}
 	}
 }

@@ -220,3 +220,52 @@ func TestIndexSeesAppendedRows(t *testing.T) {
 		t.Errorf("TopK missed appended row: %v", got)
 	}
 }
+
+// TestDIPRScratchMatchesAllocating pins that the scratch scan returns the
+// exact candidates of the allocating form, including across reuse of a
+// dirty arena.
+func TestDIPRScratchMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := randomKeys(rng, 2000, 16)
+	x := Make(keys, 1)
+	var sc Scratch
+	for trial := 0; trial < 5; trial++ {
+		q := make([]float32, 16)
+		for j := range q {
+			q[j] = rng.Float32()*2 - 1
+		}
+		limit := 500 + trial*300
+		want, wantBest := x.DIPRFiltered(q, 1.2, limit)
+		got, gotBest := x.DIPRFilteredScratch(&sc, q, 1.2, limit)
+		if gotBest != wantBest {
+			t.Fatalf("trial %d: best %v vs %v", trial, gotBest, wantBest)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d candidates", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDIPRScratchZeroAllocWarm guards the allocation-free warm scan.
+func TestDIPRScratchZeroAllocWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	keys := randomKeys(rng, 2048, 16)
+	x := Make(keys, 1)
+	q := make([]float32, 16)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	var sc Scratch
+	x.DIPRFilteredScratch(&sc, q, 2, 2048) // warm the arena
+	allocs := testing.AllocsPerRun(20, func() {
+		x.DIPRFilteredScratch(&sc, q, 2, 2048)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm scratch DIPR allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -174,21 +174,25 @@ func (g *Graph) addProtected(u, v int32) {
 }
 
 // buildIncremental inserts keys one at a time, linking each to its nearest
-// already-inserted keys via graph search (NSW-style flat build).
+// already-inserted keys via graph search (NSW-style flat build). One search
+// state and one prune scratch serve the whole sweep — insertion cost is
+// dominated by scoring, not allocation.
 func (g *Graph) buildIncremental() {
 	n := g.keys.Rows()
 	if n == 0 {
 		return
 	}
+	var st SearchState
+	var ps pruneScratch
 	// Insert in index order; search the partial graph for neighbours.
 	for i := 1; i < n; i++ {
 		q := g.keys.Row(i)
-		cands := g.searchPartial(q, g.cfg.Degree, g.cfg.EfConstruction, int32(i))
+		cands := g.searchInternal(&st, q, g.cfg.Degree, g.cfg.EfConstruction, int32(i))
 		for _, c := range cands {
 			g.addEdge(int32(i), c.ID)
 			g.addEdge(c.ID, int32(i))
 			if len(g.adj[c.ID]) > 2*g.cfg.Degree {
-				g.prune(c.ID)
+				g.pruneWith(&ps, c.ID)
 			}
 		}
 	}
@@ -200,6 +204,7 @@ func (g *Graph) buildIncremental() {
 // neighbours found by search (RoarGraph stage (ii)).
 func (g *Graph) enhanceConnectivity() {
 	n := len(g.adj)
+	var st SearchState
 	for pass := 0; pass < 3; pass++ {
 		reach := g.reachable()
 		fixed := 0
@@ -207,7 +212,7 @@ func (g *Graph) enhanceConnectivity() {
 			if reach[i] {
 				continue
 			}
-			cands := g.search(g.keys.Row(i), 4, g.cfg.EfConstruction)
+			cands := g.searchInternal(&st, g.keys.Row(i), 4, g.cfg.EfConstruction, -1)
 			for _, c := range cands {
 				if c.ID == int32(i) {
 					continue
@@ -274,24 +279,36 @@ func (g *Graph) addEdge(u, v int32) {
 	g.adj[u] = append(g.adj[u], v)
 }
 
-// prune trims node u's adjacency to Degree using a diversity heuristic:
+// pruneScratch is the reusable working set of a pruning sweep: the scored
+// candidate list, the selected-neighbour buffer, and the membership bitset
+// the backfill pass uses (an epoch-cleared VisitSet, replacing the
+// per-prune map[int32]bool allocation).
+type pruneScratch struct {
+	cands    []index.Candidate
+	selected []int32
+	have     index.VisitSet
+}
+
+// pruneWith trims node u's adjacency to Degree using a diversity heuristic:
 // neighbours are admitted best-first (by inner product with u), and a
 // candidate dominated by an already-selected neighbour — closer to that
 // neighbour than to u in L2 — is skipped. This is the occlusion rule used
 // by HNSW/Vamana, and keeps edges spread across directions. Protected
-// bridge edges are merged back in afterwards, over and above Degree.
-func (g *Graph) prune(u int32) {
+// bridge edges are merged back in afterwards, over and above Degree. The
+// surviving neighbour list is written back into adj[u]'s existing storage.
+func (g *Graph) pruneWith(ps *pruneScratch, u int32) {
 	adj := g.adj[u]
 	if len(adj) <= g.cfg.Degree {
 		return
 	}
 	uRow := g.keys.Row(int(u))
-	cands := make([]index.Candidate, len(adj))
-	for i, v := range adj {
-		cands[i] = index.Candidate{ID: v, Score: vec.Dot(uRow, g.keys.Row(int(v)))}
+	cands := ps.cands[:0]
+	for _, v := range adj {
+		cands = append(cands, index.Candidate{ID: v, Score: vec.Dot(uRow, g.keys.Row(int(v)))})
 	}
+	ps.cands = cands
 	sortCandidates(cands)
-	selected := make([]int32, 0, g.cfg.Degree)
+	selected := ps.selected[:0]
 	for _, c := range cands {
 		if len(selected) >= g.cfg.Degree {
 			break
@@ -311,21 +328,23 @@ func (g *Graph) prune(u int32) {
 	}
 	// Backfill with best-scoring skipped candidates if diversity left slots.
 	if len(selected) < g.cfg.Degree {
-		have := make(map[int32]bool, len(selected))
+		ps.have.Reset(len(g.adj))
 		for _, s := range selected {
-			have[s] = true
+			ps.have.Add(int(s))
 		}
 		for _, c := range cands {
 			if len(selected) >= g.cfg.Degree {
 				break
 			}
-			if !have[c.ID] {
+			if !ps.have.Visited(int(c.ID)) {
 				selected = append(selected, c.ID)
-				have[c.ID] = true
+				ps.have.Add(int(c.ID))
 			}
 		}
 	}
-	g.adj[u] = selected
+	ps.selected = selected
+	// Pruning only shrinks, so the surviving list fits in adj[u]'s storage.
+	g.adj[u] = append(g.adj[u][:0], selected...)
 }
 
 func (g *Graph) pruneAll() {
@@ -343,8 +362,9 @@ func (g *Graph) pruneAll() {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var ps pruneScratch // one scratch per worker, reused across its range
 			for i := lo; i < hi; i++ {
-				g.prune(int32(i))
+				g.pruneWith(&ps, int32(i))
 			}
 		}(lo, hi)
 	}
@@ -389,6 +409,18 @@ func (g *Graph) Bytes() int64 {
 	return n + int64(len(g.adj))*24 // slice headers
 }
 
+// SearchState is the reusable working set of one search goroutine: the
+// visited set (cleared by epoch counter, not reallocation), the frontier
+// and result heaps, and the sorted output buffer. Results returned through
+// a state alias it and are valid until its next use. The zero value is
+// ready; a state serves one goroutine at a time.
+type SearchState struct {
+	visited  index.VisitSet
+	frontier index.MaxHeap
+	results  index.MinHeap
+	out      []index.Candidate
+}
+
 // TopK implements index.Searcher via beam search with ef = max(2k, 64).
 func (g *Graph) TopK(q []float32, k int) []index.Candidate {
 	ef := 2 * k
@@ -400,22 +432,22 @@ func (g *Graph) TopK(q []float32, k int) []index.Candidate {
 }
 
 // SearchEf performs best-first beam search with beam width ef and returns
-// the best k results found.
+// the best k results found. Allocating form of SearchEfState.
 func (g *Graph) SearchEf(q []float32, k, ef int) []index.Candidate {
-	return g.searchInternal(q, k, ef, -1)
+	var st SearchState
+	return g.searchInternal(&st, q, k, ef, -1)
 }
 
-func (g *Graph) search(q []float32, k, ef int) []index.Candidate {
-	return g.searchInternal(q, k, ef, -1)
+// SearchEfState is SearchEf running entirely inside st's arena; a warm
+// state makes repeated searches allocation-free. The result aliases st.
+func (g *Graph) SearchEfState(st *SearchState, q []float32, k, ef int) []index.Candidate {
+	return g.searchInternal(st, q, k, ef, -1)
 }
 
-// searchPartial searches only nodes with id < limit (used by the
-// incremental build, where nodes >= limit are not yet inserted).
-func (g *Graph) searchPartial(q []float32, k, ef int, limit int32) []index.Candidate {
-	return g.searchInternal(q, k, ef, limit)
-}
-
-func (g *Graph) searchInternal(q []float32, k, ef int, limit int32) []index.Candidate {
+// searchInternal is the beam search core. limit >= 0 restricts the search
+// to nodes with id < limit (used by the incremental build, where nodes >=
+// limit are not yet inserted).
+func (g *Graph) searchInternal(st *SearchState, q []float32, k, ef int, limit int32) []index.Candidate {
 	n := len(g.adj)
 	if n == 0 || k <= 0 {
 		return nil
@@ -430,15 +462,15 @@ func (g *Graph) searchInternal(q []float32, k, ef int, limit int32) []index.Cand
 			return nil
 		}
 	}
-	visited := newBitset(n)
-	visited.set(int(start))
+	st.visited.Reset(n)
+	st.visited.Add(int(start))
 	startScore := vec.Dot(q, g.keys.Row(int(start)))
 
-	frontier := index.MaxHeap{{ID: start, Score: startScore}}
-	results := index.MinHeap{{ID: start, Score: startScore}}
+	frontier := append(st.frontier[:0], index.Candidate{ID: start, Score: startScore})
+	results := append(st.results[:0], index.Candidate{ID: start, Score: startScore})
 
 	for frontier.Len() > 0 {
-		cur := popMax(&frontier)
+		cur := frontier.PopValue()
 		if results.Len() >= ef && cur.Score < results[0].Score {
 			break
 		}
@@ -446,71 +478,24 @@ func (g *Graph) searchInternal(q []float32, k, ef int, limit int32) []index.Cand
 			if limit >= 0 && v >= limit {
 				continue
 			}
-			if visited.get(int(v)) {
+			if !st.visited.Visit(int(v)) {
 				continue
 			}
-			visited.set(int(v))
 			s := vec.Dot(q, g.keys.Row(int(v)))
 			if results.Len() < ef || s > results[0].Score {
-				pushMax(&frontier, index.Candidate{ID: v, Score: s})
+				frontier.PushValue(index.Candidate{ID: v, Score: s})
 				results.PushBounded(index.Candidate{ID: v, Score: s}, ef)
 			}
 		}
 	}
-	sorted := results.Sorted()
+	st.frontier, st.results = frontier[:0], results[:0]
+	st.out = results.SortedInto(st.out)
+	sorted := st.out
 	if len(sorted) > k {
 		sorted = sorted[:k]
 	}
 	return sorted
 }
-
-func pushMax(h *index.MaxHeap, c index.Candidate) {
-	*h = append(*h, c)
-	// Sift up.
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if (*h)[parent].Score >= (*h)[i].Score {
-			break
-		}
-		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
-		i = parent
-	}
-}
-
-func popMax(h *index.MaxHeap) index.Candidate {
-	old := *h
-	top := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	// Sift down.
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < last && (*h)[l].Score > (*h)[largest].Score {
-			largest = l
-		}
-		if r < last && (*h)[r].Score > (*h)[largest].Score {
-			largest = r
-		}
-		if largest == i {
-			break
-		}
-		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
-		i = largest
-	}
-	return top
-}
-
-// bitset is a fixed-size bitmap used as the visited set during search.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
-func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
 
 // Validate checks structural invariants: in-range neighbour ids, no
 // self-loops, degree bound respected (after build), entry reachability of

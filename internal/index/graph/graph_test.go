@@ -206,3 +206,45 @@ func TestZeroVectorsDoNotBreakBuild(t *testing.T) {
 		t.Fatalf("Validate: %v", err)
 	}
 }
+
+// TestSearchEfStateMatchesSearchEf pins that a reused (dirty) search state
+// returns exactly what a fresh search does.
+func TestSearchEfStateMatchesSearchEf(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	keys := randomMatrix(rng, 1500, 16)
+	queries := oodQueries(rng, keys, 300)
+	g := Build(keys, queries, Config{Degree: 12, QueryKNN: 8, EfConstruction: 48})
+	var st SearchState
+	for trial := 0; trial < 8; trial++ {
+		q := queries.Row(rng.Intn(queries.Rows()))
+		want := g.SearchEf(q, 10, 64)
+		got := g.SearchEfState(&st, q, 10, 64)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSearchEfStateZeroAllocWarm guards that warm beam search does not
+// allocate: the visited set clears by epoch, heaps and output reuse their
+// backing arrays.
+func TestSearchEfStateZeroAllocWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := randomMatrix(rng, 2000, 16)
+	queries := oodQueries(rng, keys, 400)
+	g := Build(keys, queries, Config{Degree: 12, QueryKNN: 8, EfConstruction: 48})
+	q := queries.Row(0)
+	var st SearchState
+	g.SearchEfState(&st, q, 10, 64) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		g.SearchEfState(&st, q, 10, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm graph search allocated %.1f times per run, want 0", allocs)
+	}
+}

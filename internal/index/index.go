@@ -12,8 +12,6 @@
 //     graph; low latency at small k, supports DIPR traversal.
 package index
 
-import "container/heap"
-
 // Candidate is a scored token position. Score is the raw inner product
 // q·kᵀ (not scaled by √d; scaling is monotone and applied by attention).
 type Candidate struct {
@@ -32,6 +30,12 @@ type Searcher interface {
 
 // MinHeap is a min-heap of candidates by score: the root is the worst
 // candidate, so it supports streaming top-k selection.
+//
+// The hot-path operations (PushValue, PopValue, PushBounded, Sorted,
+// SortedInto) sift by direct Score comparison instead of going through
+// container/heap: boxing a Candidate into an interface{} allocates, and the
+// heaps sit inside loops the decode path runs per token. The heap.Interface
+// methods remain for compatibility; both produce identical orderings.
 type MinHeap []Candidate
 
 func (h MinHeap) Len() int            { return len(h) }
@@ -46,6 +50,54 @@ func (h *MinHeap) Pop() interface{} {
 	return x
 }
 
+// PushValue inserts c without interface boxing. Equivalent to heap.Push.
+func (h *MinHeap) PushValue(c Candidate) {
+	*h = append(*h, c)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[j].Score >= s[i].Score {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// PopValue removes and returns the root (worst candidate) without interface
+// boxing. Equivalent to heap.Pop.
+func (h *MinHeap) PopValue() Candidate {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	minSiftDown(s[:n], 0)
+	top := s[n]
+	*h = s[:n]
+	return top
+}
+
+// minSiftDown restores the heap property below node i, mirroring
+// container/heap's down so orderings are identical either way.
+func minSiftDown(s []Candidate, i int) {
+	n := len(s)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].Score < s[j1].Score {
+			j = j2
+		}
+		if s[j].Score >= s[i].Score {
+			return
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+}
+
 // PushBounded inserts c keeping at most k elements: once full, c replaces
 // the root only if it scores higher.
 func (h *MinHeap) PushBounded(c Candidate, k int) {
@@ -53,27 +105,40 @@ func (h *MinHeap) PushBounded(c Candidate, k int) {
 		return
 	}
 	if h.Len() < k {
-		heap.Push(h, c)
+		h.PushValue(c)
 		return
 	}
 	if c.Score > (*h)[0].Score {
 		(*h)[0] = c
-		heap.Fix(h, 0)
+		minSiftDown(*h, 0)
 	}
 }
 
 // Sorted drains the heap and returns candidates best-first. The heap is
 // emptied.
 func (h *MinHeap) Sorted() []Candidate {
-	out := make([]Candidate, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(Candidate)
+	return h.SortedInto(nil)
+}
+
+// SortedInto drains the heap into dst (grown only if its capacity is too
+// small) and returns the candidates best-first. The heap is emptied. It is
+// the allocation-free form of Sorted for callers holding a reusable buffer.
+func (h *MinHeap) SortedInto(dst []Candidate) []Candidate {
+	n := h.Len()
+	if cap(dst) < n {
+		dst = make([]Candidate, n)
+	} else {
+		dst = dst[:n]
 	}
-	return out
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = h.PopValue()
+	}
+	return dst
 }
 
 // MaxHeap is a max-heap of candidates by score: the root is the best
-// candidate, used as a search frontier.
+// candidate, used as a search frontier. As with MinHeap, PushValue/PopValue
+// avoid the interface boxing of container/heap.
 type MaxHeap []Candidate
 
 func (h MaxHeap) Len() int            { return len(h) }
@@ -86,6 +151,48 @@ func (h *MaxHeap) Pop() interface{} {
 	x := old[n-1]
 	*h = old[:n-1]
 	return x
+}
+
+// PushValue inserts c without interface boxing.
+func (h *MaxHeap) PushValue(c Candidate) {
+	*h = append(*h, c)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i].Score >= s[j].Score {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// PopValue removes and returns the root (best candidate) without interface
+// boxing.
+func (h *MaxHeap) PopValue() Candidate {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return top
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].Score > s[j1].Score {
+			j = j2
+		}
+		if s[i].Score >= s[j].Score {
+			return top
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
 }
 
 // IDs extracts the token positions of candidates as ints, preserving order.

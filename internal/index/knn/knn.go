@@ -110,12 +110,21 @@ func NNDescent(keys *vec.Matrix, cfg NNDescentConfig) [][]index.Candidate {
 	}
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		// Build the reverse neighbour lists for this round.
+		// Build the reverse neighbour lists for this round, plus an immutable
+		// snapshot of every neighbour list. Workers sample *other* nodes'
+		// lists while updating their own; joining against the round-start
+		// snapshot (the standard NN-Descent formulation) keeps those
+		// cross-node reads race-free and makes parallel builds deterministic.
 		reverse := make([][]int32, n)
+		flat := make([]index.Candidate, 0, n*k)
+		snap := make([][]index.Candidate, n)
 		for i := 0; i < n; i++ {
 			for _, c := range nbrs[i] {
 				reverse[c.ID] = append(reverse[c.ID], int32(i))
 			}
+			off := len(flat)
+			flat = append(flat, nbrs[i]...)
+			snap[i] = flat[off:len(flat):len(flat)]
 		}
 		updates := 0
 		var mu sync.Mutex
@@ -147,7 +156,7 @@ func NNDescent(keys *vec.Matrix, cfg NNDescentConfig) [][]index.Candidate {
 							break
 						}
 						via := pool[local.next()%uint64(len(pool))]
-						cand := nbrs[via]
+						cand := snap[via]
 						if len(cand) > 0 {
 							pool = append(pool, cand[local.next()%uint64(len(cand))].ID)
 						}

@@ -1,0 +1,46 @@
+package index
+
+// VisitSet is a reusable visited-set over integer ids in [0, n). Membership
+// is recorded by stamping each id's slot with the current epoch, so clearing
+// the set for a new search is a counter increment, not a reallocation or a
+// memset — the trick that lets graph traversals run allocation-free in
+// steady state. The zero value is ready to use. Not safe for concurrent use;
+// pool or shard instances instead.
+type VisitSet struct {
+	mark  []uint32
+	epoch uint32
+}
+
+// Reset clears the set and (re)sizes it for ids in [0, n). Storage is only
+// allocated when n outgrows the previous capacity.
+func (v *VisitSet) Reset(n int) {
+	if n > len(v.mark) {
+		v.mark = make([]uint32, n)
+		v.epoch = 0
+	}
+	v.epoch++
+	if v.epoch == 0 {
+		// Epoch wrapped: stale slots could collide with the new epoch, so
+		// pay for one explicit clear every 2^32 resets.
+		for i := range v.mark {
+			v.mark[i] = 0
+		}
+		v.epoch = 1
+	}
+}
+
+// Visit marks id visited and reports whether this call was the first visit
+// since the last Reset.
+func (v *VisitSet) Visit(id int) bool {
+	if v.mark[id] == v.epoch {
+		return false
+	}
+	v.mark[id] = v.epoch
+	return true
+}
+
+// Visited reports whether id has been visited since the last Reset.
+func (v *VisitSet) Visited(id int) bool { return v.mark[id] == v.epoch }
+
+// Add marks id visited.
+func (v *VisitSet) Add(id int) { v.mark[id] = v.epoch }

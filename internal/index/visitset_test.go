@@ -1,0 +1,146 @@
+package index
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+func TestVisitSetBasics(t *testing.T) {
+	var v VisitSet
+	v.Reset(8)
+	if v.Visited(3) {
+		t.Fatal("fresh set reports 3 visited")
+	}
+	if !v.Visit(3) {
+		t.Fatal("first Visit(3) must report true")
+	}
+	if v.Visit(3) {
+		t.Fatal("second Visit(3) must report false")
+	}
+	if !v.Visited(3) || v.Visited(4) {
+		t.Fatal("membership wrong after Visit")
+	}
+	v.Add(4)
+	if !v.Visited(4) {
+		t.Fatal("Add(4) did not mark 4")
+	}
+	v.Reset(8)
+	if v.Visited(3) || v.Visited(4) {
+		t.Fatal("Reset must clear the set")
+	}
+}
+
+func TestVisitSetGrowAndEpochWrap(t *testing.T) {
+	var v VisitSet
+	v.Reset(4)
+	v.Add(2)
+	v.Reset(16) // grow resets epoch machinery
+	if v.Visited(2) {
+		t.Fatal("grown set reports stale membership")
+	}
+	v.Add(15)
+	// Force the epoch to wrap: membership from the pre-wrap epoch must not
+	// leak into the post-wrap one.
+	v.epoch = ^uint32(0)
+	v.Add(1)
+	v.Reset(16)
+	if v.Visited(1) || v.Visited(15) {
+		t.Fatal("epoch wrap leaked stale membership")
+	}
+}
+
+func TestVisitSetResetDoesNotAllocateWarm(t *testing.T) {
+	var v VisitSet
+	v.Reset(1024)
+	allocs := testing.AllocsPerRun(50, func() {
+		v.Reset(1024)
+		v.Visit(17)
+		v.Visit(900)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm VisitSet allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestManualHeapMatchesContainerHeap asserts PushValue/PopValue produce the
+// exact element orderings of container/heap, including ties — downstream
+// search results are compared bitwise across code paths, so the manual sift
+// must not even reorder equal scores differently.
+func TestManualHeapMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		cands := make([]Candidate, n)
+		for i := range cands {
+			// Coarse quantization forces plenty of score ties.
+			cands[i] = Candidate{ID: int32(i), Score: float32(rng.Intn(8))}
+		}
+
+		var manual MinHeap
+		ref := make(MinHeap, 0, n)
+		for _, c := range cands {
+			manual.PushValue(c)
+			heap.Push(&ref, c)
+		}
+		for i := range manual {
+			if manual[i] != ref[i] {
+				t.Fatalf("trial %d: heap layouts diverge at %d: %v vs %v", trial, i, manual[i], ref[i])
+			}
+		}
+		for ref.Len() > 0 {
+			want := heap.Pop(&ref).(Candidate)
+			if got := manual.PopValue(); got != want {
+				t.Fatalf("trial %d: PopValue = %v, heap.Pop = %v", trial, got, want)
+			}
+		}
+
+		var manualMax MaxHeap
+		refMax := make(MaxHeap, 0, n)
+		for _, c := range cands {
+			manualMax.PushValue(c)
+			heap.Push(&refMax, c)
+		}
+		for refMax.Len() > 0 {
+			want := heap.Pop(&refMax).(Candidate)
+			if got := manualMax.PopValue(); got != want {
+				t.Fatalf("trial %d: max PopValue = %v, heap.Pop = %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSortedIntoReusesBuffer(t *testing.T) {
+	buf := make([]Candidate, 0, 64)
+	var h MinHeap
+	for i := 0; i < 32; i++ {
+		h.PushBounded(Candidate{ID: int32(i), Score: float32(i % 7)}, 16)
+	}
+	out := h.SortedInto(buf)
+	if len(out) != 16 {
+		t.Fatalf("SortedInto returned %d candidates, want 16", len(out))
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("SortedInto must reuse the provided buffer's storage")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Score < out[i].Score {
+			t.Fatalf("SortedInto not best-first at %d: %v then %v", i, out[i-1], out[i])
+		}
+	}
+}
+
+func TestHeapOpsDoNotAllocateWarm(t *testing.T) {
+	h := make(MinHeap, 0, 128)
+	buf := make([]Candidate, 0, 128)
+	allocs := testing.AllocsPerRun(50, func() {
+		h = h[:0]
+		for i := 0; i < 128; i++ {
+			h.PushBounded(Candidate{ID: int32(i), Score: float32(i * 31 % 17)}, 64)
+		}
+		buf = h.SortedInto(buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm heap ops allocated %.1f times per run, want 0", allocs)
+	}
+}

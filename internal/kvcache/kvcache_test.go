@@ -121,3 +121,30 @@ func TestTruncate(t *testing.T) {
 		t.Error("over-truncate changed length")
 	}
 }
+
+func TestRowSpanAccessors(t *testing.T) {
+	c := New(2, 2, 4)
+	for pos := 0; pos < 3; pos++ {
+		ks := [][]float32{{float32(pos), 1, 2, 3}, {float32(pos), 5, 6, 7}}
+		vs := [][]float32{{float32(pos), -1, -2, -3}, {float32(pos), -5, -6, -7}}
+		c.AppendAll(1, ks, vs)
+	}
+	span := c.KeyRowSpan(1, 0, 1, 3)
+	if len(span) != 8 {
+		t.Fatalf("key span length %d, want 8", len(span))
+	}
+	if span[0] != 1 || span[4] != 2 {
+		t.Fatalf("key span contents wrong: %v", span)
+	}
+	// Spans alias cache storage exactly as the matrices do.
+	if &span[0] != &c.Keys(1, 0).Row(1)[0] {
+		t.Fatal("KeyRowSpan must alias the key matrix")
+	}
+	vspan := c.ValueRowSpan(1, 1, 0, 3)
+	if len(vspan) != 12 || vspan[1] != -5 {
+		t.Fatalf("value span wrong: %v", vspan)
+	}
+	if got := len(c.KeyRowSpan(1, 0, 2, 2)); got != 0 {
+		t.Fatalf("empty span length %d", got)
+	}
+}

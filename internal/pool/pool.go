@@ -17,8 +17,9 @@ import (
 	"sync/atomic"
 )
 
-// Pool bounds concurrent task execution. The zero value is not usable;
-// create pools with New. A Pool is safe for concurrent use.
+// Pool bounds concurrent task execution. Create pools with New (the zero
+// value behaves like the Serial pool: it never spawns and runs every
+// fan-out inline). A Pool is safe for concurrent use.
 type Pool struct {
 	sem chan struct{}
 }
@@ -32,8 +33,17 @@ func New(size int) *Pool {
 	return &Pool{sem: make(chan struct{}, size)}
 }
 
-// Size returns the pool's spawn bound.
+// Size returns the pool's spawn bound (0 for the Serial pool).
 func (p *Pool) Size() int { return cap(p.sem) }
+
+var serialPool = &Pool{}
+
+// Serial returns the pool that never spawns: every fan-out runs inline on
+// the calling goroutine, in index order, without creating closures or
+// goroutines — and therefore without allocating. It is the pool to wire in
+// when measuring or asserting allocation behaviour of a fanned-out path
+// (testing.AllocsPerRun), and for strictly deterministic serial execution.
+func Serial() *Pool { return serialPool }
 
 var (
 	defaultMu   sync.Mutex
@@ -72,8 +82,12 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if n == 1 {
-		fn(0)
+	// The single-task and Serial paths return before any closure below is
+	// created, so they never allocate.
+	if n == 1 || cap(p.sem) == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
 		return
 	}
 	var next atomic.Int64
@@ -113,4 +127,64 @@ spawn:
 // shape of the engine's device/host partial split.
 func (p *Pool) Run(fns ...func()) {
 	p.ForEach(len(fns), func(i int) { fns[i]() })
+}
+
+// ForEachScratch is ForEach with per-worker scratch: every worker — the
+// caller plus each spawned helper — calls acquire once before claiming its
+// first task, passes the value to every fn it runs, and hands it back
+// through release when it drains. A K-worker fan-out over N tasks therefore
+// costs K acquire/release pairs instead of N, which is what lets a
+// sync.Pool-backed arena (attention scratch, search state) amortize across
+// a whole multi-head fan-out. Like ForEach, a saturated pool degrades to
+// inline execution on the caller's scratch, and the Serial pool runs
+// everything inline with a single scratch and no closure or goroutine
+// allocation.
+func (p *Pool) ForEachScratch(n int, acquire func() interface{}, release func(interface{}), fn func(sc interface{}, i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 || cap(p.sem) == 0 {
+		sc := acquire()
+		for i := 0; i < n; i++ {
+			fn(sc, i)
+		}
+		release(sc)
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			return // drained before acquiring: no scratch churn
+		}
+		sc := acquire()
+		for {
+			fn(sc, i)
+			i = int(next.Add(1)) - 1
+			if i >= n {
+				break
+			}
+		}
+		release(sc)
+	}
+	var wg sync.WaitGroup
+	// Spawn at most n-1 helpers: the caller is always one of the workers.
+spawn:
+	for i := 0; i < n-1; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			break spawn // saturated: the caller picks up the rest inline
+		}
+	}
+	work()
+	wg.Wait()
 }

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -99,4 +100,90 @@ func TestDefaultAndSetDefaultSize(t *testing.T) {
 		t.Fatalf("SetDefaultSize(7): got size %d, default identity %v", Default().Size(), Default() == p)
 	}
 	SetDefaultSize(old) // restore for other tests sharing the process
+}
+
+func TestSerialRunsInlineInOrder(t *testing.T) {
+	p := Serial()
+	if p.Size() != 0 {
+		t.Fatalf("Serial pool size %d, want 0", p.Size())
+	}
+	var order []int
+	p.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial ForEach order %v, want ascending", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial ForEach ran %d tasks, want 5", len(order))
+	}
+}
+
+func TestSerialForEachDoesNotAllocate(t *testing.T) {
+	p := Serial()
+	var sink int
+	fn := func(i int) { sink += i }
+	allocs := testing.AllocsPerRun(20, func() {
+		p.ForEach(16, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("serial ForEach allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestForEachScratchCoversAllTasksOncePerWorkerScratch(t *testing.T) {
+	for _, p := range []*Pool{Serial(), New(1), New(4)} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		acquired, released := 0, 0
+		acquire := func() interface{} {
+			mu.Lock()
+			acquired++
+			mu.Unlock()
+			return new(int)
+		}
+		release := func(sc interface{}) {
+			mu.Lock()
+			released++
+			mu.Unlock()
+		}
+		p.ForEachScratch(50, acquire, release, func(sc interface{}, i int) {
+			*(sc.(*int))++
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		if len(seen) != 50 {
+			t.Fatalf("pool size %d: covered %d of 50 tasks", p.Size(), len(seen))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("pool size %d: task %d ran %d times", p.Size(), i, c)
+			}
+		}
+		if acquired != released {
+			t.Fatalf("pool size %d: %d acquires vs %d releases", p.Size(), acquired, released)
+		}
+		if acquired < 1 || acquired > p.Size()+1 {
+			t.Fatalf("pool size %d: %d scratches acquired, want 1..%d", p.Size(), acquired, p.Size()+1)
+		}
+	}
+}
+
+func TestForEachScratchNested(t *testing.T) {
+	// Nested fan-outs must not deadlock and must still cover every task.
+	p := New(2)
+	var count atomic.Int64
+	p.ForEachScratch(8,
+		func() interface{} { return nil },
+		func(interface{}) {},
+		func(_ interface{}, i int) {
+			p.ForEachScratch(8,
+				func() interface{} { return nil },
+				func(interface{}) {},
+				func(_ interface{}, j int) { count.Add(1) })
+		})
+	if got := count.Load(); got != 64 {
+		t.Fatalf("nested ForEachScratch ran %d inner tasks, want 64", got)
+	}
 }

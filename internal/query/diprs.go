@@ -74,7 +74,9 @@ func (c *DIPRSConfig) defaults() {
 
 // Result is the outcome of a DIPRS search.
 type Result struct {
-	// Critical is the critical-token set 𝒄_K, best-first.
+	// Critical is the critical-token set 𝒄_K, best-first. When the search
+	// ran through a SearchState, the slice aliases the state and is valid
+	// only until its next search.
 	Critical []index.Candidate
 	// MaxIP is the best inner product observed (including InitialMax).
 	MaxIP float32
@@ -82,13 +84,43 @@ type Result struct {
 	Explored int
 }
 
-// DIPRS runs Algorithm 1: an unordered, growable candidate list C is
-// scanned in insertion order; each scanned entry's unvisited neighbours are
-// appended if the list is still below its capacity threshold (exploration
-// phase) or if they are β-critical w.r.t. the best inner product seen so
-// far (pruning phase). The search ends when the scan catches up with the
-// list's growth; all β-critical list entries are returned.
+// searchEntry is one candidate-list slot of Algorithm 1.
+type searchEntry struct {
+	id    int32
+	score float32
+}
+
+// SearchState is the reusable working set of a DIPRS search: the visited
+// set (cleared by an epoch counter instead of reallocation), the growable
+// candidate list, the β-band buffer, the selection heap, and the sorted
+// result slice. A warm state makes repeated searches allocation-free. The
+// zero value is ready; a state serves one goroutine at a time.
+type SearchState struct {
+	visited index.VisitSet
+	list    []searchEntry
+	band    []index.Candidate
+	heap    index.MinHeap
+	out     []index.Candidate
+}
+
+// NewSearchState returns an empty search state.
+func NewSearchState() *SearchState { return &SearchState{} }
+
+// DIPRS runs Algorithm 1 with a freshly allocated search state. Decode
+// loops use DIPRSWith with a reused state instead.
 func DIPRS(g Graph, q []float32, cfg DIPRSConfig) Result {
+	var st SearchState
+	return DIPRSWith(&st, g, q, cfg)
+}
+
+// DIPRSWith runs Algorithm 1 inside st's arena: an unordered, growable
+// candidate list C is scanned in insertion order; each scanned entry's
+// unvisited neighbours are appended if the list is still below its capacity
+// threshold (exploration phase) or if they are β-critical w.r.t. the best
+// inner product seen so far (pruning phase). The search ends when the scan
+// catches up with the list's growth; all β-critical list entries are
+// returned (Result.Critical aliases st).
+func DIPRSWith(st *SearchState, g Graph, q []float32, cfg DIPRSConfig) Result {
 	cfg.defaults()
 	n := g.Len()
 	if n == 0 {
@@ -100,39 +132,26 @@ func DIPRS(g Graph, q []float32, cfg DIPRSConfig) Result {
 		maxIP = cfg.InitialMax
 	}
 
-	visited := make([]bool, n)
-	type entry struct {
-		id    int32
-		score float32
-	}
-	var list []entry
+	st.visited.Reset(n)
+	list := st.list[:0]
 	explored := 0
 
-	score := func(id int32) float32 {
-		explored++
-		return vec.Dot(q, g.Vector(id))
-	}
-	admit := func(id int32, s float32) {
-		// Line 13: below capacity, accept anything; past it, β-critical only.
-		if len(list) <= cfg.Capacity || s >= maxIP-cfg.Beta {
-			list = append(list, entry{id: id, score: s})
-			if s > maxIP {
-				maxIP = s
-			}
-		}
-	}
-
 	start := g.Entry()
-	visited[start] = true
+	st.visited.Add(int(start))
 	if cfg.Filter == nil || cfg.Filter(start) {
-		admit(start, score(start))
+		explored++
+		s := vec.Dot(q, g.Vector(start))
+		list = append(list, searchEntry{id: start, score: s})
+		if s > maxIP {
+			maxIP = s
+		}
 	} else {
 		// The entry point fails the predicate: the traversal must still pass
 		// through it, but its score must not count — the running maximum is
 		// over the filtered subset only, otherwise β-pruning against an
 		// excluded token could empty the result. The -Inf score keeps it out
 		// of the final critical set.
-		list = append(list, entry{id: start, score: float32(math.Inf(-1))})
+		list = append(list, searchEntry{id: start, score: float32(math.Inf(-1))})
 	}
 
 	for i := 0; i < len(list); i++ {
@@ -141,7 +160,7 @@ func DIPRS(g Graph, q []float32, cfg DIPRSConfig) Result {
 		}
 		cur := list[i].id
 		for _, v := range g.Neighbors(cur) {
-			if visited[v] {
+			if st.visited.Visited(int(v)) {
 				continue
 			}
 			if cfg.Filter != nil && !cfg.Filter(v) {
@@ -149,37 +168,57 @@ func DIPRS(g Graph, q []float32, cfg DIPRSConfig) Result {
 				// to its neighbours so the filtered region stays connected.
 				// The failing node is marked visited; its failing neighbours
 				// are left unvisited for other pass-throughs to reach.
-				visited[v] = true
+				st.visited.Add(int(v))
 				for _, w := range g.Neighbors(v) {
-					if visited[w] || !cfg.Filter(w) {
+					if st.visited.Visited(int(w)) || !cfg.Filter(w) {
 						continue
 					}
-					visited[w] = true
-					admit(w, score(w))
+					st.visited.Add(int(w))
+					explored++
+					// Line 13: below capacity, accept anything; past it,
+					// β-critical only.
+					s := vec.Dot(q, g.Vector(w))
+					if len(list) <= cfg.Capacity || s >= maxIP-cfg.Beta {
+						list = append(list, searchEntry{id: w, score: s})
+						if s > maxIP {
+							maxIP = s
+						}
+					}
 				}
 				continue
 			}
-			visited[v] = true
-			admit(v, score(v))
+			st.visited.Add(int(v))
+			explored++
+			s := vec.Dot(q, g.Vector(v))
+			if len(list) <= cfg.Capacity || s >= maxIP-cfg.Beta {
+				list = append(list, searchEntry{id: v, score: s})
+				if s > maxIP {
+					maxIP = s
+				}
+			}
 		}
 	}
+	st.list = list
 
 	threshold := maxIP - cfg.Beta
-	var h index.MinHeap
+	band := st.band[:0]
 	for _, e := range list {
 		if e.score >= threshold && !math.IsInf(float64(e.score), -1) {
-			h = append(h, index.Candidate{ID: e.id, Score: e.score})
+			band = append(band, index.Candidate{ID: e.id, Score: e.score})
 		}
 	}
-	keep := len(h)
+	st.band = band
+	keep := len(band)
 	if cfg.MaxResults > 0 && cfg.MaxResults < keep {
 		keep = cfg.MaxResults
 	}
-	res := make(index.MinHeap, 0, keep)
-	for _, c := range h {
+	res := st.heap[:0]
+	for _, c := range band {
 		res.PushBounded(c, keep)
 	}
-	return Result{Critical: res.Sorted(), MaxIP: maxIP, Explored: explored}
+	st.heap = res[:0]
+	st.out = res.SortedInto(st.out)
+	return Result{Critical: st.out, MaxIP: maxIP, Explored: explored}
 }
 
 // WindowMax computes the maximum inner product between q and the key rows

@@ -327,3 +327,56 @@ func TestTheorem1Equivalence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// diprsGraph builds a deterministic test graph plus query rows.
+func diprsGraph(t *testing.T, n, d int) (*graph.Graph, *vec.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	keys := randomKeys(rng, n, d)
+	queries := randomKeys(rng, 32, d)
+	return buildGraph(rng, keys), queries
+}
+
+// TestDIPRSWithMatchesDIPRS pins that a reused (dirty) search state returns
+// exactly what a fresh search does, with and without filtering.
+func TestDIPRSWithMatchesDIPRS(t *testing.T) {
+	g, queries := diprsGraph(t, 1200, 16)
+	st := NewSearchState()
+	for trial := 0; trial < 6; trial++ {
+		q := queries.Row(trial % queries.Rows())
+		cfg := DIPRSConfig{Beta: 1.5, MaxResults: 64}
+		if trial%2 == 1 {
+			lim := int32(600)
+			cfg.Filter = func(id int32) bool { return id < lim }
+		}
+		want := DIPRS(g, q, cfg)
+		got := DIPRSWith(st, g, q, cfg)
+		if got.MaxIP != want.MaxIP || got.Explored != want.Explored {
+			t.Fatalf("trial %d: MaxIP/Explored diverge: %+v vs %+v", trial, got, want)
+		}
+		if len(got.Critical) != len(want.Critical) {
+			t.Fatalf("trial %d: %d vs %d critical tokens", trial, len(got.Critical), len(want.Critical))
+		}
+		for i := range want.Critical {
+			if got.Critical[i] != want.Critical[i] {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got.Critical[i], want.Critical[i])
+			}
+		}
+	}
+}
+
+// TestDIPRSWithZeroAllocWarm is the regression guard for the reusable
+// search state: a warm unfiltered search must not allocate.
+func TestDIPRSWithZeroAllocWarm(t *testing.T) {
+	g, queries := diprsGraph(t, 2000, 16)
+	q := queries.Row(0)
+	st := NewSearchState()
+	cfg := DIPRSConfig{Beta: 2, MaxResults: 128}
+	DIPRSWith(st, g, q, cfg) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		DIPRSWith(st, g, q, cfg)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm DIPRS allocated %.1f times per run, want 0", allocs)
+	}
+}

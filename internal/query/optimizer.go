@@ -62,7 +62,34 @@ type Plan struct {
 	Filtered bool // attribute-filtering predicate applied (partial reuse)
 }
 
+// planStrings caches every valid Plan's rendered form: the decode path
+// records a plan string per attention call, and concatenating it each time
+// would put one allocation on an otherwise allocation-free hot loop.
+var planStrings = func() [numKinds * numIndexKinds * 2]string {
+	var out [numKinds * numIndexKinds * 2]string
+	for k := 0; k < numKinds; k++ {
+		for ix := 0; ix < numIndexKinds; ix++ {
+			s := Kind(k).String() + "+" + IndexKind(ix).String()
+			out[(k*numIndexKinds+ix)*2] = s
+			out[(k*numIndexKinds+ix)*2+1] = s + "+filter"
+		}
+	}
+	return out
+}()
+
+const (
+	numKinds      = int(KindDIPR) + 1
+	numIndexKinds = int(IndexFlat) + 1
+)
+
 func (p Plan) String() string {
+	if p.Query >= 0 && int(p.Query) < numKinds && p.Index >= 0 && int(p.Index) < numIndexKinds {
+		i := (int(p.Query)*numIndexKinds + int(p.Index)) * 2
+		if p.Filtered {
+			i++
+		}
+		return planStrings[i]
+	}
 	s := p.Query.String() + "+" + p.Index.String()
 	if p.Filtered {
 		s += "+filter"

@@ -40,11 +40,20 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/devmem"
 	"repro/internal/model"
 )
+
+// attnResultsPool recycles the per-request attention result buffers of the
+// attention_all endpoint. Each request Gets a slice, computes through
+// Session.AttentionAllInto (which reuses the entries' Output/RetrievedIDs
+// storage), serializes the response, and Puts the slice back — so a busy
+// server's steady-state attention traffic produces no per-head garbage
+// beyond the JSON encoding itself.
+var attnResultsPool = sync.Pool{New: func() interface{} { return new([]core.AttentionResult) }}
 
 // DefaultShards is the registry shard count used when no option overrides
 // it: comfortably above typical core counts so shard collisions are rare.
@@ -250,12 +259,19 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		results := sess.AttentionAll(req.Layer, req.Queries)
+		buf := attnResultsPool.Get().(*[]core.AttentionResult)
+		if cap(*buf) < len(req.Queries) {
+			*buf = make([]core.AttentionResult, len(req.Queries))
+		}
+		results := (*buf)[:len(req.Queries)]
+		sess.AttentionAllInto(req.Layer, req.Queries, results)
 		resp := AttentionAllResponse{Heads: make([]AttentionResponse, len(results))}
-		for h, res := range results {
-			resp.Heads[h] = attentionWire(res)
+		for h := range results {
+			resp.Heads[h] = attentionWire(results[h])
 		}
 		writeJSON(w, resp)
+		*buf = results
+		attnResultsPool.Put(buf)
 	case action == "store" && r.Method == http.MethodPost:
 		ctx, err := s.db.Store(sess)
 		if err != nil {

@@ -1,0 +1,113 @@
+package vec
+
+import "fmt"
+
+// This file holds the blocked batch kernels of the zero-allocation decode
+// path: scoring a query against many matrix rows at once, and accumulating
+// weighted row sums, all into caller-provided buffers. The range kernels
+// take the whole span through Matrix.RowSpan — one bounds check per range —
+// and walk it in row blocks; none of them allocate.
+//
+// Every kernel is bitwise-identical to the per-row formulation it replaces
+// (Dot per Row, Axpy per Row): blocks change how storage is addressed, not
+// the floating-point accumulation order, so callers may mix blocked and
+// per-row paths freely without results diverging.
+
+// dotBlock is the number of rows scored per backing-array block.
+const dotBlock = 4
+
+// DotBatchRange computes out[i] = q · m.Row(lo+i) for i in [0, hi-lo),
+// walking the backing array in 4-row blocks. out must have at least hi-lo
+// entries; q must match the matrix width.
+func DotBatchRange(q []float32, m *Matrix, lo, hi int, out []float32) {
+	n := hi - lo
+	if lo < 0 || hi < lo || hi > m.Rows() {
+		panic(fmt.Sprintf("vec: dot batch range [%d,%d) of %d-row matrix", lo, hi, m.Rows()))
+	}
+	if len(q) != m.cols {
+		panic(fmt.Sprintf("vec: dot batch query dim %d, matrix width %d", len(q), m.cols))
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("vec: dot batch output has %d of %d entries", len(out), n))
+	}
+	d := m.cols
+	span := m.RowSpan(lo, hi)
+	i := 0
+	for ; i+dotBlock <= n; i += dotBlock {
+		off := i * d
+		blk := span[off : off+dotBlock*d : off+dotBlock*d]
+		out[i] = Dot(q, blk[:d])
+		out[i+1] = Dot(q, blk[d:2*d])
+		out[i+2] = Dot(q, blk[2*d:3*d])
+		out[i+3] = Dot(q, blk[3*d:])
+	}
+	for ; i < n; i++ {
+		off := i * d
+		out[i] = Dot(q, span[off:off+d:off+d])
+	}
+}
+
+// DotBatch computes out[i] = q · m.Row(i) for every row of m (q·Mᵀ). out
+// must have at least m.Rows() entries.
+func DotBatch(q []float32, m *Matrix, out []float32) {
+	DotBatchRange(q, m, 0, m.Rows(), out)
+}
+
+// DotGather computes out[j] = q · m.Row(idx[j]) for every listed row. The
+// rows are random-access, so no blocking applies, but the kernel still slices
+// the backing array directly and performs no allocation. Indices must be in
+// range; out must have at least len(idx) entries.
+func DotGather(q []float32, m *Matrix, idx []int, out []float32) {
+	if len(q) != m.cols {
+		panic(fmt.Sprintf("vec: dot gather query dim %d, matrix width %d", len(q), m.cols))
+	}
+	if len(out) < len(idx) {
+		panic(fmt.Sprintf("vec: dot gather output has %d of %d entries", len(out), len(idx)))
+	}
+	d := m.cols
+	data := m.data
+	for j, i := range idx {
+		off := i * d
+		out[j] = Dot(q, data[off:off+d:off+d])
+	}
+}
+
+// WeightedSumRange accumulates out += Σ_i w[i] · m.Row(lo+i), the value mix
+// of partial attention over a contiguous row range. len(w) must be hi-lo and
+// len(out) must equal the matrix width. Accumulation order matches an Axpy
+// per row in ascending order.
+func WeightedSumRange(w []float32, m *Matrix, lo, hi int, out []float32) {
+	if lo < 0 || hi < lo || hi > m.Rows() {
+		panic(fmt.Sprintf("vec: weighted sum range [%d,%d) of %d-row matrix", lo, hi, m.Rows()))
+	}
+	if len(w) < hi-lo {
+		panic(fmt.Sprintf("vec: weighted sum has %d weights for %d rows", len(w), hi-lo))
+	}
+	if len(out) != m.cols {
+		panic(fmt.Sprintf("vec: weighted sum output dim %d, matrix width %d", len(out), m.cols))
+	}
+	d := m.cols
+	span := m.RowSpan(lo, hi)
+	for i := 0; i < hi-lo; i++ {
+		off := i * d
+		Axpy(w[i], span[off:off+d:off+d], out)
+	}
+}
+
+// WeightedSumGather accumulates out += Σ_j w[j] · m.Row(idx[j]) over listed
+// rows, in index order. len(w) must be at least len(idx); len(out) must
+// equal the matrix width.
+func WeightedSumGather(w []float32, m *Matrix, idx []int, out []float32) {
+	if len(w) < len(idx) {
+		panic(fmt.Sprintf("vec: weighted sum has %d weights for %d rows", len(w), len(idx)))
+	}
+	if len(out) != m.cols {
+		panic(fmt.Sprintf("vec: weighted sum output dim %d, matrix width %d", len(out), m.cols))
+	}
+	d := m.cols
+	data := m.data
+	for j, i := range idx {
+		off := i * d
+		Axpy(w[j], data[off:off+d:off+d], out)
+	}
+}

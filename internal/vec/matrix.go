@@ -67,6 +67,17 @@ func (m *Matrix) Append(v []float32) int {
 // read-only unless they own the matrix.
 func (m *Matrix) Data() []float32 { return m.data }
 
+// RowSpan returns the contiguous backing floats of rows [lo, hi) — hi-lo
+// rows of Cols() entries each — aliasing matrix storage. It is the accessor
+// blocked scans use: one bounds check for the whole span instead of one
+// slice per row.
+func (m *Matrix) RowSpan(lo, hi int) []float32 {
+	if lo < 0 || hi < lo || hi > m.Rows() {
+		panic(fmt.Sprintf("vec: row span [%d,%d) of %d-row matrix", lo, hi, m.Rows()))
+	}
+	return m.data[lo*m.cols : hi*m.cols : hi*m.cols]
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	out := &Matrix{cols: m.cols, data: make([]float32, len(m.data))}

@@ -6,6 +6,14 @@
 // on real hardware; float32 is the closest stdlib-representable width and
 // keeps memory pressure comparable. Hot loops are 4-way unrolled, which is
 // the most portable form of SIMD-friendliness available without assembly.
+//
+// Two calling conventions coexist. The per-row kernels (Dot, Axpy, Softmax)
+// take plain slices. The batch kernels in batch.go (DotBatch, DotGather,
+// WeightedSumRange, …) score or accumulate over many matrix rows at once,
+// writing into caller-provided buffers: they walk the matrix backing array
+// in row blocks and never allocate, which is what keeps the steady-state
+// decode path garbage-free. Batch results are bitwise-identical to the
+// per-row loops they replace.
 package vec
 
 import (
