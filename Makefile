@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered cover fuzz fmt vet
 
 all: build vet test
 
@@ -28,6 +28,27 @@ bench:
 ALLOC_JSON ?= BENCH_PR2.json
 bench-alloc:
 	$(GO) run ./cmd/alayabench -exp alloc -context 2048 -trials 2 -json $(ALLOC_JSON)
+
+# Tiered-store experiment: resuming from the disk spill tier vs cold
+# re-import (re-prefill + index rebuild), with the PR 3 perf artefact.
+TIERED_JSON ?= BENCH_PR3.json
+bench-tiered:
+	$(GO) run ./cmd/alayabench -exp tiered -context 2048 -trials 2 -json $(TIERED_JSON)
+
+# Coverage ratchet: fail if total statement coverage falls below COVER_MIN.
+COVER_MIN ?= 78.0
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
+	echo "total statement coverage: $$total% (floor: $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' || \
+		{ echo "coverage fell below the ratchet floor"; exit 1; }
+
+# Short coverage-guided fuzz pass over the spill-file parser (the seeds
+# also run as ordinary tests in `make test`).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/storage/vfs -run '^FuzzOpen$$' -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc or tiered: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -62,16 +62,29 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		if *exp != "alloc" {
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc")
+		var data interface{}
+		var err error
+		switch *exp {
+		case "alloc":
+			var d *bench.AllocReportData
+			if d, err = bench.AllocReport(scale); err == nil {
+				bench.WriteAllocTable(d, os.Stdout)
+				data = d
+			}
+		case "tiered":
+			var d *bench.TieredReportData
+			if d, err = bench.TieredReport(scale); err == nil {
+				bench.WriteTieredTable(d, os.Stdout)
+				data = d
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc or -exp tiered")
 			os.Exit(2)
 		}
-		data, err := bench.AllocReport(scale)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "alayabench: alloc: %v\n", err)
+			fmt.Fprintf(os.Stderr, "alayabench: %s: %v\n", *exp, err)
 			os.Exit(1)
 		}
-		bench.WriteAllocTable(data, os.Stdout)
 		blob, err := json.MarshalIndent(data, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alayabench: encoding report: %v\n", err)

@@ -1,10 +1,12 @@
 // Command alayactl inspects AlayaDB's on-disk artefacts: vector files
-// (the vfs block format of §7.3) and persisted context directories.
+// (the vfs block format of §7.3), persisted context directories, and the
+// spill tier written by a DB running with -spill-dir.
 //
 // Usage:
 //
 //	alayactl stat <file.keys|file.vals>     print one vector file's stats
 //	alayactl verify <context-dir>           check a saved context's integrity
+//	alayactl spill <spill-dir>              list the spill tier's contexts
 package main
 
 import (
@@ -26,6 +28,8 @@ func main() {
 		err = stat(os.Args[2])
 	case "verify":
 		err = verify(os.Args[2])
+	case "spill":
+		err = spill(os.Args[2])
 	default:
 		usage()
 	}
@@ -36,8 +40,60 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: alayactl stat <vector-file> | alayactl verify <context-dir>")
+	fmt.Fprintln(os.Stderr, "usage: alayactl stat <vector-file> | alayactl verify <context-dir> | alayactl spill <spill-dir>")
 	os.Exit(2)
+}
+
+// spill lists a DB spill directory: one line per catalogued context with
+// its document size, model shape and on-disk footprint — the offline view
+// of the catalog the DB keeps in memory.
+func spill(root string) error {
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	total := int64(0)
+	contexts := 0
+	fmt.Printf("%-22s %8s %10s  %s\n", "context", "tokens", "bytes", "model")
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, d.Name())
+		raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			fmt.Printf("%-22s (no manifest: %v)\n", d.Name(), err)
+			continue
+		}
+		var man struct {
+			Model struct {
+				Layers  int `json:"Layers"`
+				QHeads  int `json:"QHeads"`
+				KVHeads int `json:"KVHeads"`
+				HeadDim int `json:"HeadDim"`
+			} `json:"model"`
+			Tokens []json.RawMessage `json:"tokens"`
+		}
+		if err := json.Unmarshal(raw, &man); err != nil {
+			fmt.Printf("%-22s (bad manifest: %v)\n", d.Name(), err)
+			continue
+		}
+		var bytes int64
+		if files, err := os.ReadDir(dir); err == nil {
+			for _, f := range files {
+				if info, err := f.Info(); err == nil && info.Mode().IsRegular() {
+					bytes += info.Size()
+				}
+			}
+		}
+		fmt.Printf("%-22s %8d %10d  %dL x %dQ x %dKV x d%d\n",
+			d.Name(), len(man.Tokens), bytes,
+			man.Model.Layers, man.Model.QHeads, man.Model.KVHeads, man.Model.HeadDim)
+		total += bytes
+		contexts++
+	}
+	fmt.Printf("\n%d spilled contexts, %d bytes on disk\n", contexts, total)
+	return nil
 }
 
 func stat(path string) error {

@@ -31,6 +31,9 @@ func main() {
 		budgetGB = flag.Float64("context-budget-gb", 0, "stored-context byte budget in GB (0 = unlimited)")
 		poolSize = flag.Int("pool-size", 0, "worker pool size for per-head/per-layer fan-out (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", serve.DefaultShards, "session registry shard count (rounded up to a power of two)")
+		spillDir = flag.String("spill-dir", "", "directory for the disk spill tier: evicted contexts are persisted there and transparently reloaded (empty = eviction drops contexts)")
+		spillGB  = flag.Float64("spill-budget-gb", 0, "spill tier byte budget in GB; LRU spilled contexts are deleted over it (0 = unlimited)")
+		spillMB  = flag.Float64("spill-cache-mb", 64, "buffer pool capacity in MB for spilled-context block reads")
 	)
 	flag.Parse()
 
@@ -50,11 +53,14 @@ func main() {
 		dev = devmem.New(int64(*deviceGB * 1e9))
 	}
 	db, err := core.New(core.Config{
-		Model:         m,
-		Device:        dev,
-		Window:        attention.Window{Sinks: 32, Recent: 64},
-		ContextBudget: int64(*budgetGB * 1e9),
-		Pool:          workPool,
+		Model:           m,
+		Device:          dev,
+		Window:          attention.Window{Sinks: 32, Recent: 64},
+		ContextBudget:   int64(*budgetGB * 1e9),
+		Pool:            workPool,
+		SpillDir:        *spillDir,
+		SpillBudget:     int64(*spillGB * 1e9),
+		SpillCacheBytes: int64(*spillMB * 1e6),
 	})
 	if err != nil {
 		log.Fatalf("alayad: %v", err)
@@ -65,5 +71,10 @@ func main() {
 	defer srv.Close()
 	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d, pool %d, %d shards)",
 		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim, workPool.Size(), *shards)
+	if *spillDir != "" {
+		ts := db.TierStats()
+		log.Printf("alayad: spill tier at %s (budget %.2f GB, %d contexts recovered)",
+			ts.Dir, *spillGB, ts.SpilledContexts)
+	}
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -62,6 +62,19 @@ type Config struct {
 	// contexts; the least-recently-used context is evicted from the reuse
 	// store when an import exceeds it. 0 = unlimited.
 	ContextBudget int64
+	// SpillDir enables the disk tier: evicted contexts are persisted there
+	// (one subdirectory per context) instead of dropped, and sessions whose
+	// prefix matches a spilled context transparently reload it. Empty
+	// disables spilling — eviction destroys the context, as before.
+	SpillDir string
+	// SpillBudget bounds the disk tier's total bytes; the least-recently-
+	// used spilled context is deleted when a spill exceeds it. 0 =
+	// unlimited.
+	SpillBudget int64
+	// SpillCacheBytes is the capacity of the buffer pool backing
+	// spilled-context block reads (reloads and cold scans). Defaults to
+	// 64 MiB.
+	SpillCacheBytes int64
 }
 
 func (c *Config) defaults() error {
@@ -96,6 +109,9 @@ func (c *Config) defaults() error {
 	if c.Pool == nil {
 		c.Pool = pool.Default()
 	}
+	if c.SpillCacheBytes <= 0 {
+		c.SpillCacheBytes = 64 << 20
+	}
 	return nil
 }
 
@@ -107,6 +123,7 @@ type DB struct {
 	weightsH  int   // devmem handle for model weights
 	clock     int64 // logical clock for context recency
 	evictions int64
+	tier      *tierState // disk spill tier; nil when Config.SpillDir is empty
 }
 
 // Context is a stored, reusable long context: its prompts (token sequence),
@@ -140,6 +157,12 @@ func New(cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("core: registering model weights: %w", err)
 	}
 	db.weightsH = h
+	if cfg.SpillDir != "" {
+		if err := db.initTier(); err != nil {
+			cfg.Device.Free(h)
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -168,14 +191,25 @@ func (db *DB) Import(doc *model.Document, cache *kvcache.Cache) (*Context, error
 	}
 	ctx := &Context{doc: doc, cache: cache}
 	db.BuildIndexes(ctx)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.contexts = append(db.contexts, ctx)
-	db.touchLocked(ctx)
-	if err := db.enforceBudgetLocked(ctx); err != nil {
+	if err := db.registerContext(ctx); err != nil {
 		return nil, err
 	}
 	return ctx, nil
+}
+
+// registerContext adds ctx to the resident store, marks it most recently
+// used, and enforces the context budget. Evicted contexts are spilled to
+// the disk tier (when configured) after the store lock is released:
+// SaveContext is file I/O and the victims are already out of the resident
+// store, so nothing can race the writes.
+func (db *DB) registerContext(ctx *Context) error {
+	db.mu.Lock()
+	db.contexts = append(db.contexts, ctx)
+	db.touchLocked(ctx)
+	victims, err := db.enforceBudgetLocked(ctx)
+	db.mu.Unlock()
+	db.spillAll(victims)
+	return err
 }
 
 // ImportDoc generates the KV cache for doc through the model substrate and
@@ -341,7 +375,10 @@ func (ctx *Context) IndexBytes() int64 {
 // CreateSession opens a session for doc, reusing the longest common prefix
 // with any stored context (DB.create_session in Table 2). It returns the
 // session and the number of tokens reused: the caller only needs to feed
-// tokens from that position on through Session.Update.
+// tokens from that position on through Session.Update. With a spill tier
+// configured, the prefix search also consults the spill catalog; a spilled
+// context with a longer matching prefix than any resident one is
+// transparently reloaded (off the store lock) and reused.
 func (db *DB) CreateSession(doc *model.Document) (*Session, int) {
 	db.mu.Lock()
 	var best *Context
@@ -355,7 +392,12 @@ func (db *DB) CreateSession(doc *model.Document) (*Session, int) {
 		db.touchLocked(best)
 	}
 	db.mu.Unlock()
+	reloaded := false
+	if ctx, n := db.reloadForPrefix(doc, bestLen); ctx != nil {
+		best, bestLen, reloaded = ctx, n, true
+	}
 	s := newSession(db, best, bestLen, doc)
+	s.baseReloaded = reloaded
 	return s, bestLen
 }
 

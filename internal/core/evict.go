@@ -7,7 +7,10 @@ import "fmt"
 // "Used" means reused by a session (CreateSession) or freshly imported.
 // Eviction only removes the context from the reuse store — sessions already
 // holding it keep working (the context is immutable and garbage-collected
-// when the last session drops it).
+// when the last session drops it). With a spill directory configured
+// (Config.SpillDir), evicted contexts are not dropped: the caller spills
+// them to the disk tier, from which a later session reloads them instead of
+// paying full re-prefill (see tier.go).
 
 // ContextBudget returns the configured stored-context byte budget
 // (0 = unlimited).
@@ -43,11 +46,15 @@ func (db *DB) touchLocked(ctx *Context) {
 
 // enforceBudgetLocked evicts least-recently-used contexts until the store
 // fits the budget, never evicting the context passed in (the one just
-// imported or about to be used). Caller holds db.mu for writing.
-func (db *DB) enforceBudgetLocked(keep *Context) error {
+// imported or about to be used). It returns the evicted contexts so the
+// caller can spill them to the disk tier once the lock is released —
+// SaveContext is file I/O and must not run under db.mu. Caller holds db.mu
+// for writing.
+func (db *DB) enforceBudgetLocked(keep *Context) ([]*Context, error) {
 	if db.cfg.ContextBudget <= 0 {
-		return nil
+		return nil, nil
 	}
+	var victims []*Context
 	for db.storedBytesLocked() > db.cfg.ContextBudget {
 		victim := -1
 		for i, ctx := range db.contexts {
@@ -59,13 +66,14 @@ func (db *DB) enforceBudgetLocked(keep *Context) error {
 			}
 		}
 		if victim == -1 {
-			return fmt.Errorf("core: context store over budget (%d > %d) with nothing evictable",
+			return victims, fmt.Errorf("core: context store over budget (%d > %d) with nothing evictable",
 				db.storedBytesLocked(), db.cfg.ContextBudget)
 		}
+		victims = append(victims, db.contexts[victim])
 		db.contexts = append(db.contexts[:victim], db.contexts[victim+1:]...)
 		db.evictions++
 	}
-	return nil
+	return victims, nil
 }
 
 // Evictions returns how many stored contexts have been evicted for

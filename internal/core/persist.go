@@ -10,6 +10,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/model"
 	"repro/internal/storage/vfs"
+	"repro/internal/vec"
 )
 
 // Persistence layout: one directory per context, one vector file per
@@ -121,8 +122,28 @@ func (db *DB) SaveContext(ctx *Context, dir string) error {
 
 // LoadContext restores a context saved by SaveContext and registers it in
 // the DB for session reuse. The manifest's model configuration must match
-// the DB's.
+// the DB's. Registration goes through the normal store lifecycle: the
+// loaded context counts against the context budget and may evict (and
+// spill) older residents.
 func (db *DB) LoadContext(dir string) (*Context, error) {
+	ctx, err := db.readContextDir(dir, (*vfs.FS).ReadAll)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.registerContext(ctx); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// matrixReader materializes the vector payload of one open spill file. The
+// direct path is (*vfs.FS).ReadAll; the spill tier substitutes a reader
+// that pages blocks through the shared buffer manager (tier.go).
+type matrixReader func(fs *vfs.FS) (*vec.Matrix, error)
+
+// readManifest loads and validates a context directory's manifest against
+// the DB's configuration.
+func (db *DB) readManifest(dir string) (*manifest, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("core: load context: %w", err)
@@ -138,6 +159,34 @@ func (db *DB) LoadContext(dir string) (*Context, error) {
 	if man.ShareGQA != *db.cfg.ShareGQA {
 		return nil, fmt.Errorf("core: context GQA sharing (%v) differs from DB (%v)", man.ShareGQA, *db.cfg.ShareGQA)
 	}
+	// The manifest is operator-editable JSON: geometry fields feed
+	// allocation sizes and slot indexes, so a corrupt or crafted manifest
+	// must surface as an error here, never a panic downstream (the vfs
+	// layer applies the same discipline to its binary blocks).
+	if want := db.indexGroups(); man.Groups != want {
+		return nil, fmt.Errorf("core: manifest has %d index groups, DB expects %d", man.Groups, want)
+	}
+	if len(man.Entries) != mc.Layers*man.Groups {
+		return nil, fmt.Errorf("core: manifest has %d graph entries for %d slots", len(man.Entries), mc.Layers*man.Groups)
+	}
+	for i, e := range man.Entries {
+		if e < 0 || (int(e) >= len(man.Tokens) && !(e == 0 && len(man.Tokens) == 0)) {
+			return nil, fmt.Errorf("core: manifest entry %d (%d) out of range for %d tokens", i, e, len(man.Tokens))
+		}
+	}
+	return &man, nil
+}
+
+// readContextDir rebuilds a context from a directory written by
+// SaveContext, reading vector payloads through read. It does not register
+// the context; callers decide the lifecycle (LoadContext registers,
+// the spill tier registers through its reload path).
+func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
+	man, err := db.readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	mc := db.cfg.Model.Config()
 
 	ctx := &Context{
 		doc:    &model.Document{Seed: man.Seed, Tokens: man.Tokens},
@@ -151,7 +200,7 @@ func (db *DB) LoadContext(dir string) (*Context, error) {
 			if err != nil {
 				return nil, err
 			}
-			keys, err := kf.ReadAll()
+			keys, err := read(kf)
 			if err != nil {
 				kf.Close()
 				return nil, err
@@ -169,7 +218,7 @@ func (db *DB) LoadContext(dir string) (*Context, error) {
 			if err != nil {
 				return nil, err
 			}
-			vals, err := vf.ReadAll()
+			vals, err := read(vf)
 			if err != nil {
 				vf.Close()
 				return nil, err
@@ -211,10 +260,6 @@ func (db *DB) LoadContext(dir string) (*Context, error) {
 	if ctx.cache.SeqLen(0) != ctx.doc.Len() {
 		return nil, fmt.Errorf("core: loaded cache holds %d tokens, manifest document has %d", ctx.cache.SeqLen(0), ctx.doc.Len())
 	}
-
-	db.mu.Lock()
-	db.contexts = append(db.contexts, ctx)
-	db.mu.Unlock()
 	return ctx, nil
 }
 

@@ -51,11 +51,12 @@ func putDecodeStateAny(v interface{}) { decodeStatePool.Put(v) }
 // the late-materialization zone (§7.2): they are attended through the
 // window, not indexed, until DB.Store materializes them.
 type Session struct {
-	db       *DB
-	base     *Context // reused stored context; nil when starting cold
-	reuseLen int      // tokens reused from base
-	doc      *model.Document
-	tail     *kvcache.Cache
+	db           *DB
+	base         *Context // reused stored context; nil when starting cold
+	baseReloaded bool     // base was reloaded from the spill tier
+	reuseLen     int      // tokens reused from base
+	doc          *model.Document
+	tail         *kvcache.Cache
 
 	mu       sync.Mutex
 	coarseIx map[int]*coarse.Index // lazy, keyed by layer*kvHeads+kvHead
@@ -113,6 +114,10 @@ func (s *Session) Doc() *model.Document { return s.doc }
 
 // ReuseLen returns the number of tokens reused from a stored context.
 func (s *Session) ReuseLen() int { return s.reuseLen }
+
+// BaseFromSpill reports whether the session's reused context was reloaded
+// from the disk spill tier rather than found resident in memory.
+func (s *Session) BaseFromSpill() bool { return s.baseReloaded }
 
 // PartialReuse reports whether the session reuses only a strict prefix of
 // its stored context, which forces attribute filtering (§7.1).

@@ -1,0 +1,603 @@
+package core
+
+// The disk spill tier (tier.go) makes the DB a two-tier context store.
+// Eviction under Config.ContextBudget no longer destroys a context: with
+// Config.SpillDir set, the victim is persisted through the SaveContext
+// machinery into a DB-managed spill directory and catalogued (document
+// hash → spill path, byte size, LRU clock). CreateSession consults the
+// catalog during prefix matching; a spilled context with a longer matching
+// prefix than any resident one is reloaded — off the store lock, with
+// concurrent requests for the same context collapsed into one load — and
+// re-registered as a resident. Reloads and cold scans read vector blocks
+// through a shared buffer pool (internal/storage/buffer), so a DIPRS scan
+// over a cold context pages in only the key rows it touches instead of
+// materializing the whole KV cache up front.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/vfs"
+	"repro/internal/vec"
+)
+
+// spillEntry is one catalogued spilled context: where it lives on disk,
+// the document it holds (kept in memory so prefix matching never touches
+// the disk), its on-disk footprint, and its recency under the catalog's
+// LRU clock.
+type spillEntry struct {
+	hash     uint64
+	dir      string
+	doc      *model.Document
+	bytes    int64 // on-disk footprint (all files of the context directory)
+	lastUsed int64
+}
+
+// reloadOp collapses concurrent reloads of the same spilled context: the
+// first requester loads, everyone else waits on done and shares the result.
+type reloadOp struct {
+	done chan struct{}
+	ctx  *Context
+	err  error
+}
+
+// tierState is the DB's spill tier: the on-disk catalog, the buffer pool
+// backing spilled block reads, and the tier counters. Its mutex guards the
+// catalog maps and clock only — never held across file I/O.
+type tierState struct {
+	dir    string
+	budget int64
+	bm     *buffer.Manager
+	files  *storage.FileSet
+
+	counters metrics.TierCounters
+
+	mu        sync.Mutex
+	entries   map[uint64]*spillEntry
+	inflight  map[uint64]*reloadOp
+	spilling  map[uint64]bool // hashes being written by spillOne right now
+	clock     int64
+	diskBytes int64
+}
+
+// initTier creates the spill directory, the buffer pool, and recovers any
+// compatible spilled contexts already present (a previous process's spill
+// tier survives restarts).
+func (db *DB) initTier() error {
+	if err := os.MkdirAll(db.cfg.SpillDir, 0o755); err != nil {
+		return fmt.Errorf("core: spill dir: %w", err)
+	}
+	t := &tierState{
+		dir:      db.cfg.SpillDir,
+		budget:   db.cfg.SpillBudget,
+		files:    storage.NewFileSet(),
+		entries:  make(map[uint64]*spillEntry),
+		inflight: make(map[uint64]*reloadOp),
+		spilling: make(map[uint64]bool),
+	}
+	t.bm = buffer.New(db.cfg.SpillCacheBytes, t.files.Fetcher())
+	db.tier = t
+	db.recoverSpilled()
+	return nil
+}
+
+// DocHash fingerprints a document: seed plus every token field, FNV-1a.
+// It names spill directories and keys the spill catalog; two documents
+// hash equal only if their KV caches would be byte-identical.
+func DocHash(doc *model.Document) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(doc.Seed)
+	for _, tok := range doc.Tokens {
+		put(uint64(int64(tok.Topic)))
+		put(uint64(int64(tok.Payload)))
+		put(uint64(math.Float32bits(tok.Salience)))
+	}
+	return h.Sum64()
+}
+
+// spillDirName returns the catalog directory for a document hash.
+func spillDirName(root string, hash uint64) string {
+	return filepath.Join(root, fmt.Sprintf("ctx-%016x", hash))
+}
+
+// dirBytes sums the sizes of a directory's regular files.
+func dirBytes(dir string) int64 {
+	var n int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && info.Mode().IsRegular() {
+			n += info.Size()
+		}
+	}
+	return n
+}
+
+// spillAll persists evicted contexts to the disk tier. No-op without a
+// configured tier (eviction then destroys the contexts, the pre-tier
+// behaviour). Called with no DB locks held; the victims are already out of
+// the resident store and immutable.
+func (db *DB) spillAll(victims []*Context) {
+	if db.tier == nil {
+		return
+	}
+	for _, ctx := range victims {
+		db.spillOne(ctx)
+	}
+}
+
+// spillOne writes one evicted context to the spill directory and catalogs
+// it. A failed save is counted and the context is dropped — exactly what an
+// unspilled eviction would have done. Spill directories are write-once and
+// content-addressed: if the hash is already catalogued (identical bytes on
+// disk), being reloaded, or being written by another eviction, this spill
+// is redundant and skipped — never rewriting a directory a concurrent
+// reader may be paging from.
+func (db *DB) spillOne(ctx *Context) {
+	t := db.tier
+	hash := DocHash(ctx.doc)
+	t.mu.Lock()
+	if e, ok := t.entries[hash]; ok {
+		t.clock++
+		e.lastUsed = t.clock
+		t.mu.Unlock()
+		return
+	}
+	if t.inflight[hash] != nil || t.spilling[hash] {
+		t.mu.Unlock()
+		return
+	}
+	t.spilling[hash] = true
+	t.mu.Unlock()
+
+	dir := spillDirName(t.dir, hash)
+	err := db.SaveContext(ctx, dir)
+	bytes := int64(0)
+	if err == nil {
+		bytes = dirBytes(dir)
+	} else {
+		os.RemoveAll(dir)
+	}
+
+	t.mu.Lock()
+	delete(t.spilling, hash)
+	var drops []*spillEntry
+	if err == nil {
+		t.clock++
+		t.entries[hash] = &spillEntry{hash: hash, dir: dir, doc: ctx.doc, bytes: bytes, lastUsed: t.clock}
+		t.diskBytes += bytes
+		drops = t.enforceSpillBudgetLocked(hash)
+	}
+	t.mu.Unlock()
+
+	if err != nil {
+		t.counters.RecordSpillError()
+		return
+	}
+	t.counters.RecordSpill(bytes)
+	for _, d := range drops {
+		t.deleteSpillDir(d.dir)
+		t.counters.RecordSpillDrop()
+	}
+}
+
+// enforceSpillBudgetLocked removes least-recently-used catalog entries
+// until the disk tier fits its budget, never dropping the entry just
+// written. It returns the dropped entries; the caller deletes their
+// directories outside the lock. Caller holds t.mu.
+func (t *tierState) enforceSpillBudgetLocked(keep uint64) []*spillEntry {
+	if t.budget <= 0 {
+		return nil
+	}
+	var drops []*spillEntry
+	for t.diskBytes > t.budget {
+		var victim *spillEntry
+		for _, e := range t.entries {
+			// Never drop the entry just written, nor one a reload leader is
+			// actively reading from disk.
+			if e.hash == keep || t.inflight[e.hash] != nil {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break // only the just-written entry remains; keep it
+		}
+		delete(t.entries, victim.hash)
+		t.diskBytes -= victim.bytes
+		drops = append(drops, victim)
+	}
+	return drops
+}
+
+// deleteSpillDir invalidates any buffered blocks of the directory's files
+// and removes it from disk.
+func (t *tierState) deleteSpillDir(dir string) {
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			t.bm.InvalidateFile(filepath.Join(dir, e.Name()))
+		}
+	}
+	os.RemoveAll(dir)
+}
+
+// recoverSpilled adopts spilled contexts left by a previous process:
+// every ctx-* subdirectory whose manifest matches the DB's model
+// configuration re-enters the catalog. Incompatible or unreadable
+// directories are skipped, not deleted — they may belong to another
+// deployment sharing the directory.
+func (db *DB) recoverSpilled() {
+	t := db.tier
+	dirs, err := os.ReadDir(t.dir)
+	if err != nil {
+		return
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		dir := filepath.Join(t.dir, d.Name())
+		man, err := db.readManifest(dir)
+		if err != nil {
+			continue
+		}
+		doc := &model.Document{Seed: man.Seed, Tokens: man.Tokens}
+		hash := DocHash(doc)
+		if spillDirName(t.dir, hash) != dir {
+			continue // name does not match content; treat as foreign
+		}
+		t.mu.Lock()
+		if _, ok := t.entries[hash]; !ok {
+			t.clock++
+			bytes := dirBytes(dir)
+			t.entries[hash] = &spillEntry{hash: hash, dir: dir, doc: doc, bytes: bytes, lastUsed: t.clock}
+			t.diskBytes += bytes
+		}
+		t.mu.Unlock()
+	}
+}
+
+// reloadForPrefix consults the spill catalog for a context whose common
+// prefix with doc beats bestLen (the best resident match). On a hit the
+// spilled context is reloaded and returned with its prefix length; on a
+// miss — or with no tier configured — it returns (nil, 0). A session that
+// starts fully cold (no resident and no spilled prefix) counts as a tier
+// miss.
+func (db *DB) reloadForPrefix(doc *model.Document, bestLen int) (*Context, int) {
+	t := db.tier
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	var best *spillEntry
+	plen := bestLen
+	for _, e := range t.entries {
+		if l := commonPrefix(e.doc, doc); l > plen {
+			best, plen = e, l
+		}
+	}
+	t.mu.Unlock()
+	if best == nil {
+		if bestLen == 0 {
+			t.counters.RecordReloadMiss()
+		}
+		return nil, 0
+	}
+	ctx, err := db.reloadSpilled(best)
+	if err != nil {
+		if bestLen == 0 {
+			t.counters.RecordReloadMiss()
+		}
+		return nil, 0
+	}
+	return ctx, plen
+}
+
+// reloadSpilled brings a spilled context back into the resident store.
+// Concurrent reloads of the same context collapse into one disk load (the
+// followers block until the leader finishes and share its result). On
+// success the context is registered as a resident — which may in turn
+// spill another context — and the spill entry is consumed: catalog entry
+// removed, buffered blocks invalidated, directory deleted. A failed reload
+// also consumes the entry; a spill that cannot be read back will not be
+// read better on retry.
+func (db *DB) reloadSpilled(e *spillEntry) (*Context, error) {
+	t := db.tier
+	t.mu.Lock()
+	if cur, ok := t.entries[e.hash]; !ok || cur != e {
+		t.mu.Unlock()
+		if op := t.waitInflight(e.hash); op != nil {
+			return op.ctx, op.err
+		}
+		return nil, fmt.Errorf("core: spilled context %016x no longer catalogued", e.hash)
+	}
+	if op, ok := t.inflight[e.hash]; ok {
+		t.mu.Unlock()
+		<-op.done
+		return op.ctx, op.err
+	}
+	op := &reloadOp{done: make(chan struct{})}
+	t.inflight[e.hash] = op
+	t.clock++
+	e.lastUsed = t.clock
+	t.mu.Unlock()
+
+	start := time.Now()
+	ctx, err := db.readContextDir(e.dir, t.readMatrixBuffered)
+	if err == nil {
+		err = db.registerContext(ctx)
+	}
+	if err == nil {
+		t.counters.RecordReload(time.Since(start), e.bytes)
+	} else {
+		ctx = nil
+		t.counters.RecordReloadError()
+	}
+	// Consume the entry, delete the directory, and only then clear the
+	// in-flight marker: spillOne skips in-flight hashes, so no new spill
+	// can start writing into the path until the deletion has finished.
+	t.mu.Lock()
+	removed := false
+	if cur, ok := t.entries[e.hash]; ok && cur == e {
+		delete(t.entries, e.hash)
+		t.diskBytes -= e.bytes
+		removed = true
+	}
+	t.mu.Unlock()
+	if removed {
+		t.deleteSpillDir(e.dir)
+	}
+	t.mu.Lock()
+	delete(t.inflight, e.hash)
+	t.mu.Unlock()
+
+	op.ctx, op.err = ctx, err
+	close(op.done)
+	return ctx, err
+}
+
+// waitInflight blocks on an in-flight reload of hash, if any, and returns
+// its completed op.
+func (t *tierState) waitInflight(hash uint64) *reloadOp {
+	t.mu.Lock()
+	op := t.inflight[hash]
+	t.mu.Unlock()
+	if op == nil {
+		return nil
+	}
+	<-op.done
+	return op
+}
+
+// readMatrixBuffered materializes one spill file's vectors through the
+// shared buffer pool: the file registers with the tier's file set for the
+// duration of the scan, and every block read goes through the buffer
+// manager, so blocks already paged in by a cold scan (or a previous reload
+// of identical content) are served from memory.
+func (t *tierState) readMatrixBuffered(fs *vfs.FS) (*vec.Matrix, error) {
+	t.files.Add(fs)
+	defer t.files.Remove(fs)
+	vs, err := storage.NewVectorStore(fs, t.bm)
+	if err != nil {
+		return nil, err
+	}
+	m := vec.NewMatrix(vs.Len(), vs.Dim())
+	rows := 0
+	if err := vs.ScanBlocks(func(id int, v []float32) error {
+		copy(m.Row(id), v)
+		rows++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if rows != vs.Len() {
+		return nil, fmt.Errorf("core: spill file %s: read %d of %d vectors", fs.Path(), rows, vs.Len())
+	}
+	return m, nil
+}
+
+// SpilledDIPRS runs a DIPR range search over a spilled context's
+// (layer, qHead) slice without reloading it: graph adjacency is read from
+// the spill file and key rows page in through the buffer pool only as the
+// traversal touches them — the cold-context probe path. doc must match a
+// spilled context exactly (same hash). Falls back to a paged flat band
+// scan when the slot has no graph. Result.Critical is freshly allocated.
+func (db *DB) SpilledDIPRS(doc *model.Document, layer, qHead int, q []float32, cfg query.DIPRSConfig) (query.Result, error) {
+	t := db.tier
+	if t == nil {
+		return query.Result{}, fmt.Errorf("core: no spill tier configured")
+	}
+	hash := DocHash(doc)
+	t.mu.Lock()
+	e, ok := t.entries[hash]
+	if ok {
+		t.clock++
+		e.lastUsed = t.clock
+	}
+	t.mu.Unlock()
+	if !ok {
+		return query.Result{}, fmt.Errorf("core: document %016x is not spilled", hash)
+	}
+
+	man, err := db.readManifest(e.dir)
+	if err != nil {
+		return query.Result{}, err
+	}
+	group := db.groupOf(qHead)
+	kv := db.kvHeadOfGroup(group)
+	slot := layer*man.Groups + group
+
+	keysPath := filepath.Join(e.dir, fmt.Sprintf("L%dH%d.keys", layer, kv))
+	kf, err := vfs.Open(keysPath)
+	if err != nil {
+		return query.Result{}, err
+	}
+	defer kf.Close()
+	t.files.Add(kf)
+	defer t.files.Remove(kf)
+
+	var adj [][]int32
+	if man.ShareGQA {
+		adj, err = kf.ReadAdjacency()
+	} else {
+		gPath := filepath.Join(e.dir, fmt.Sprintf("L%dG%d.graph", layer, group))
+		if _, statErr := os.Stat(gPath); statErr == nil {
+			gf, gErr := vfs.Open(gPath)
+			if gErr != nil {
+				return query.Result{}, gErr
+			}
+			adj, err = gf.ReadAdjacency()
+			gf.Close()
+		}
+	}
+	if err != nil {
+		return query.Result{}, err
+	}
+
+	vs, err := storage.NewVectorStore(kf, t.bm)
+	if err != nil {
+		return query.Result{}, err
+	}
+	if adj == nil {
+		return coldFlatDIPR(vs, q, cfg)
+	}
+	g, err := storage.NewDiskGraph(adj, man.Entries[slot], vs)
+	if err != nil {
+		return query.Result{}, err
+	}
+	res := query.DIPRS(g, q, cfg)
+	if err := g.Err(); err != nil {
+		return query.Result{}, err
+	}
+	out := make([]index.Candidate, len(res.Critical))
+	copy(out, res.Critical)
+	res.Critical = out
+	return res, nil
+}
+
+// coldFlatDIPR is the index-less cold probe: a sequential block scan over
+// the spilled keys, keeping the β-band of the running maximum — the flat
+// DIPR semantics of internal/index/flat, but demand-paged.
+func coldFlatDIPR(vs *storage.VectorStore, q []float32, cfg query.DIPRSConfig) (query.Result, error) {
+	maxIP := float32(math.Inf(-1))
+	if cfg.HasInitialMax {
+		maxIP = cfg.InitialMax
+	}
+	var cands []index.Candidate
+	explored := 0
+	err := vs.ScanBlocks(func(id int, v []float32) error {
+		if cfg.Filter != nil && !cfg.Filter(int32(id)) {
+			return nil
+		}
+		explored++
+		s := vec.Dot(q, v)
+		if s > maxIP {
+			maxIP = s
+		}
+		if s >= maxIP-cfg.Beta {
+			cands = append(cands, index.Candidate{ID: int32(id), Score: s})
+		}
+		return nil
+	})
+	if err != nil {
+		return query.Result{}, err
+	}
+	// The running maximum only grows; re-filter against the final band.
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.Score >= maxIP-cfg.Beta {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Score > kept[j].Score })
+	if cfg.MaxResults > 0 && len(kept) > cfg.MaxResults {
+		kept = kept[:cfg.MaxResults]
+	}
+	return query.Result{Critical: kept, MaxIP: maxIP, Explored: explored}, nil
+}
+
+// TierStats summarises the spill tier for Stats endpoints and tooling.
+type TierStats struct {
+	// Enabled reports whether a spill tier is configured.
+	Enabled bool
+	// Dir is the spill directory.
+	Dir string
+	// SpilledContexts is the number of catalogued spilled contexts.
+	SpilledContexts int
+	// SpilledDiskBytes is the catalog's current on-disk footprint.
+	SpilledDiskBytes int64
+	// SpillBudget is the configured disk budget (0 = unlimited).
+	SpillBudget int64
+	// Counters is the activity snapshot: spills, hits, misses, reload
+	// latency.
+	Counters metrics.TierSnapshot
+	// Buffer is the spill buffer pool's cache activity.
+	Buffer buffer.Stats
+}
+
+// TierStats returns a snapshot of the spill tier. The zero value (Enabled
+// false) is returned when no tier is configured.
+func (db *DB) TierStats() TierStats {
+	t := db.tier
+	if t == nil {
+		return TierStats{}
+	}
+	t.mu.Lock()
+	n := len(t.entries)
+	bytes := t.diskBytes
+	t.mu.Unlock()
+	return TierStats{
+		Enabled:          true,
+		Dir:              t.dir,
+		SpilledContexts:  n,
+		SpilledDiskBytes: bytes,
+		SpillBudget:      t.budget,
+		Counters:         t.counters.Snapshot(),
+		Buffer:           t.bm.Stats(),
+	}
+}
+
+// SpilledDocs returns the documents currently catalogued in the spill
+// tier, most recently used first. Tooling and tests use it; the catalog
+// itself is consulted internally by CreateSession.
+func (db *DB) SpilledDocs() []*model.Document {
+	t := db.tier
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	entries := make([]*spillEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		entries = append(entries, e)
+	}
+	t.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].lastUsed > entries[j].lastUsed })
+	docs := make([]*model.Document, len(entries))
+	for i, e := range entries {
+		docs[i] = e.doc
+	}
+	return docs
+}

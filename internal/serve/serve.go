@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/devmem"
@@ -145,13 +146,24 @@ type AttentionAllResponse struct {
 	Heads []AttentionResponse `json:"heads"`
 }
 
-// StatsResponse summarises the DB.
+// StatsResponse summarises the DB across both storage tiers.
 type StatsResponse struct {
 	Contexts     int     `json:"contexts"`
 	StoredBytes  int64   `json:"stored_bytes"`
 	Evictions    int64   `json:"evictions"`
 	DeviceUsedGB float64 `json:"device_used_gb"`
 	OpenSessions int     `json:"open_sessions"`
+	// Spill tier (zero/absent when no spill directory is configured).
+	SpillEnabled     bool    `json:"spill_enabled"`
+	SpilledContexts  int     `json:"spilled_contexts,omitempty"`
+	SpilledBytes     int64   `json:"spilled_bytes,omitempty"`
+	Spills           int64   `json:"spills,omitempty"`
+	ReloadHits       int64   `json:"reload_hits,omitempty"`
+	ReloadMisses     int64   `json:"reload_misses,omitempty"`
+	ReloadP50Millis  float64 `json:"reload_p50_ms,omitempty"`
+	ReloadP95Millis  float64 `json:"reload_p95_ms,omitempty"`
+	SpillCacheHits   int64   `json:"spill_cache_hits,omitempty"`
+	SpillCacheMisses int64   `json:"spill_cache_misses,omitempty"`
 }
 
 // --- handlers ---
@@ -298,13 +310,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	writeJSON(w, StatsResponse{
+	resp := StatsResponse{
 		Contexts:     s.db.NumContexts(),
 		StoredBytes:  s.db.StoredBytes(),
 		Evictions:    s.db.Evictions(),
 		DeviceUsedGB: devmem.GB(s.db.Device().Used()),
 		OpenSessions: s.reg.Len(),
-	})
+	}
+	if ts := s.db.TierStats(); ts.Enabled {
+		resp.SpillEnabled = true
+		resp.SpilledContexts = ts.SpilledContexts
+		resp.SpilledBytes = ts.SpilledDiskBytes
+		resp.Spills = ts.Counters.Spills
+		resp.ReloadHits = ts.Counters.ReloadHits
+		resp.ReloadMisses = ts.Counters.ReloadMisses
+		resp.ReloadP50Millis = float64(ts.Counters.ReloadP50) / float64(time.Millisecond)
+		resp.ReloadP95Millis = float64(ts.Counters.ReloadP95) / float64(time.Millisecond)
+		resp.SpillCacheHits = ts.Buffer.Hits
+		resp.SpillCacheMisses = ts.Buffer.Misses
+	}
+	writeJSON(w, resp)
 }
 
 // Close closes every open session.

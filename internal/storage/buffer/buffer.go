@@ -208,6 +208,25 @@ func (m *Manager) Release(key Key) error {
 	return nil
 }
 
+// InvalidateFile drops every unpinned resident frame belonging to file and
+// returns how many frames were dropped. Callers use it when a backing file
+// is deleted or rewritten (a spilled context consumed by reload) so stale
+// payloads cannot be served if the path is later reused. Pinned frames are
+// left in place: their readers still hold the payload.
+func (m *Manager) InvalidateFile(file string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped := 0
+	for key, f := range m.frames {
+		if key.File != file || f.pins > 0 {
+			continue
+		}
+		m.remove(f)
+		dropped++
+	}
+	return dropped
+}
+
 // Contains reports whether key is currently resident (pinned or not).
 func (m *Manager) Contains(key Key) bool {
 	m.mu.Lock()

@@ -111,14 +111,82 @@ func Fetcher(files map[string]*vfs.FS) buffer.Fetcher {
 		if !ok {
 			return nil, fmt.Errorf("storage: no open file %q", k.File)
 		}
-		blk, err := fs.ReadBlock(k.Block)
-		if err != nil {
-			return nil, err
+		return fetchBlock(fs, k.Block)
+	}
+}
+
+func fetchBlock(fs *vfs.FS, block int64) ([]byte, error) {
+	blk, err := fs.ReadBlock(block)
+	if err != nil {
+		return nil, err
+	}
+	// Copy: the buffer manager owns cached payloads.
+	out := make([]byte, len(blk.Payload))
+	copy(out, blk.Payload)
+	return out, nil
+}
+
+// FileSet is a mutable registry of open vfs files serving one buffer
+// manager's fetches. The spill tier registers a context's head files for
+// the duration of a reload or cold scan and removes them afterwards.
+// Registrations stack per path: concurrent readers of the same file (two
+// cold probes, or a probe racing a reload) each Add their own handle and
+// Remove it when done, and fetches are served through any handle still
+// registered — so one reader finishing (and closing its handle) never
+// breaks another mid-scan. Cached blocks keyed by a fully removed path
+// survive in the manager (hits need no fetch) but a post-removal miss
+// surfaces as an error rather than reading a stale descriptor. Safe for
+// concurrent use.
+type FileSet struct {
+	mu    sync.Mutex
+	files map[string][]*vfs.FS
+}
+
+// NewFileSet returns an empty file set.
+func NewFileSet() *FileSet {
+	return &FileSet{files: make(map[string][]*vfs.FS)}
+}
+
+// Add registers an open handle under its path.
+func (s *FileSet) Add(fs *vfs.FS) {
+	s.mu.Lock()
+	s.files[fs.Path()] = append(s.files[fs.Path()], fs)
+	s.mu.Unlock()
+}
+
+// Remove deregisters one handle; its path stays fetchable while other
+// readers' handles remain. The caller closes its own handle after Remove.
+func (s *FileSet) Remove(fs *vfs.FS) {
+	s.mu.Lock()
+	path := fs.Path()
+	handles := s.files[path]
+	for i, h := range handles {
+		if h == fs {
+			handles = append(handles[:i], handles[i+1:]...)
+			break
 		}
-		// Copy: the buffer manager owns cached payloads.
-		out := make([]byte, len(blk.Payload))
-		copy(out, blk.Payload)
-		return out, nil
+	}
+	if len(handles) == 0 {
+		delete(s.files, path)
+	} else {
+		s.files[path] = handles
+	}
+	s.mu.Unlock()
+}
+
+// Fetcher returns the buffer.Fetcher view of the set. The set's mutex is
+// held across the block read so a reader cannot Remove (and then close)
+// the serving handle mid-fetch; the buffer manager serializes fetches
+// under its own lock anyway, so this adds no contention in practice.
+func (s *FileSet) Fetcher() buffer.Fetcher {
+	return func(k buffer.Key) ([]byte, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		handles := s.files[k.File]
+		if len(handles) == 0 {
+			return nil, fmt.Errorf("storage: no open file %q", k.File)
+		}
+		return fetchBlock(handles[0], k.Block)
 	}
 }
 

@@ -209,6 +209,25 @@ func (fs *FS) readSuper() error {
 		return fmt.Errorf("%w: geometry from superblock", ErrBadGeometry)
 	}
 	fs.perBlock = (fs.blockSize - headerSize) / (fs.dim * 4)
+	// A crc-valid superblock can still describe an impossible file (written
+	// by a different tool, or a deliberately crafted input): geometry whose
+	// blocks hold no vector would divide by zero in DataBlockOf, and
+	// negative or oversized counts would be used as allocation sizes and
+	// loop bounds. Reject them all here, once.
+	if fs.perBlock < 1 {
+		return fmt.Errorf("%w: block size %d cannot hold a %d-dim vector", ErrBadGeometry, fs.blockSize, fs.dim)
+	}
+	if fs.nBlocks < 0 || fs.nBlocks > maxBlocksFile {
+		return fmt.Errorf("%w: block count %d", ErrBadGeometry, fs.nBlocks)
+	}
+	if fs.nVectors < 0 || fs.nVectors > fs.nBlocks*int64(fs.perBlock) {
+		return fmt.Errorf("%w: %d vectors cannot fit %d blocks", ErrBadGeometry, fs.nVectors, fs.nBlocks)
+	}
+	for _, head := range []int64{fs.dataHead, fs.dataTail, fs.indexHead} {
+		if head != nilBlock && (head < 0 || head >= fs.nBlocks) {
+			return fmt.Errorf("%w: chain head %d out of range [0,%d)", ErrCorrupt, head, fs.nBlocks)
+		}
+	}
 	return nil
 }
 
@@ -537,9 +556,15 @@ func (fs *FS) ReadAdjacency() ([][]int32, error) {
 		return nil, nil
 	}
 	le := binary.LittleEndian
-	// Concatenate the chain payloads, then decode records.
+	// Concatenate the chain payloads, then decode records. The chain walk
+	// is bounded by the file's block count: a corrupt next pointer forming
+	// a cycle must surface as an error, not an unbounded loop.
 	var payload []byte
+	hops := int64(0)
 	for id := fs.indexHead; id != nilBlock; {
+		if hops++; hops > fs.nBlocks {
+			return nil, fmt.Errorf("%w: index chain cycle detected", ErrCorrupt)
+		}
 		blk, err := fs.ReadBlock(id)
 		if err != nil {
 			return nil, err
@@ -554,6 +579,12 @@ func (fs *FS) ReadAdjacency() ([][]int32, error) {
 		return nil, fmt.Errorf("%w: adjacency payload too short", ErrCorrupt)
 	}
 	n := int(le.Uint32(payload))
+	// Every node record is at least 4 bytes (its degree); a node count the
+	// payload cannot possibly hold would otherwise size the adjacency
+	// allocation from attacker-controlled bytes.
+	if n < 0 || n > (len(payload)-4)/4 {
+		return nil, fmt.Errorf("%w: adjacency claims %d nodes in %d payload bytes", ErrCorrupt, n, len(payload))
+	}
 	off := 4
 	adj := make([][]int32, n)
 	for i := 0; i < n; i++ {
