@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-tiered cover fuzz fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered bench-quant cover fuzz fmt vet
 
 all: build vet test
 
@@ -34,6 +34,13 @@ bench-alloc:
 TIERED_JSON ?= BENCH_PR3.json
 bench-tiered:
 	$(GO) run ./cmd/alayabench -exp tiered -context 2048 -trials 2 -json $(TIERED_JSON)
+
+# SQ8 quantized key plane experiment: fp32 vs int8 fused-scoring decode
+# throughput, resident + spilled key bytes, recall@32 after the fp32
+# rerank, with the PR 4 perf artefact.
+QUANT_JSON ?= BENCH_PR4.json
+bench-quant:
+	$(GO) run ./cmd/alayabench -exp quant -context 2048 -trials 2 -json $(QUANT_JSON)
 
 # Coverage ratchet: fail if total statement coverage falls below COVER_MIN.
 COVER_MIN ?= 78.0

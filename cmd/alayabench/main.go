@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc or tiered: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc, tiered, or quant: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -77,8 +77,14 @@ func main() {
 				bench.WriteTieredTable(d, os.Stdout)
 				data = d
 			}
+		case "quant":
+			var d *bench.QuantReportData
+			if d, err = bench.QuantReport(scale); err == nil {
+				bench.WriteQuantTable(d, os.Stdout)
+				data = d
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc or -exp tiered")
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, or quant")
 			os.Exit(2)
 		}
 		if err != nil {

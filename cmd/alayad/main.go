@@ -34,6 +34,7 @@ func main() {
 		spillDir = flag.String("spill-dir", "", "directory for the disk spill tier: evicted contexts are persisted there and transparently reloaded (empty = eviction drops contexts)")
 		spillGB  = flag.Float64("spill-budget-gb", 0, "spill tier byte budget in GB; LRU spilled contexts are deleted over it (0 = unlimited)")
 		spillMB  = flag.Float64("spill-cache-mb", 64, "buffer pool capacity in MB for spilled-context block reads")
+		quant    = flag.Bool("quant-keys", false, "maintain an SQ8 (int8) key plane: retrieval and host attention score quantized keys with fp32 rerank; spilled key files shrink 4x (spill dirs are layout-specific)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 		SpillDir:        *spillDir,
 		SpillBudget:     int64(*spillGB * 1e9),
 		SpillCacheBytes: int64(*spillMB * 1e6),
+		QuantKeys:       *quant,
 	})
 	if err != nil {
 		log.Fatalf("alayad: %v", err)
@@ -69,8 +71,12 @@ func main() {
 
 	srv := serve.NewServer(db, serve.WithShards(*shards))
 	defer srv.Close()
-	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d, pool %d, %d shards)",
-		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim, workPool.Size(), *shards)
+	keyPlane := "fp32"
+	if *quant {
+		keyPlane = "sq8+fp32 rerank"
+	}
+	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d, pool %d, %d shards, keys %s)",
+		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim, workPool.Size(), *shards, keyPlane)
 	if *spillDir != "" {
 		ts := db.TierStats()
 		log.Printf("alayad: spill tier at %s (budget %.2f GB, %d contexts recovered)",

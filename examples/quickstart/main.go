@@ -31,6 +31,10 @@ func main() {
 		Device:        dev,
 		Window:        attention.Window{Sinks: 32, Recent: 32},
 		LongThreshold: 1024,
+		// SQ8 key plane: retrieval and host attention stream int8 keys (4x
+		// less traffic) and rerank candidates in fp32, so the retrieved
+		// token set matches an fp32 configuration.
+		QuantKeys: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,4 +73,7 @@ func main() {
 	st := sess.Stats()
 	fmt.Printf("plans executed: %v\n", st.Plans)
 	fmt.Printf("critical tokens retrieved: %d across %d queries\n", st.Retrieved, st.Queries)
+	kv := db.StoredKVBytes()
+	fmt.Printf("key planes: %d fp32 bytes mirrored by %d SQ8 bytes (scoring traffic /%.1f incl. per-row scales); %d candidates fp32-reranked\n",
+		kv.Keys, kv.QuantKeys, float64(kv.Keys)/float64(max(kv.QuantKeys, 1)), st.Reranked)
 }

@@ -92,6 +92,13 @@ func OverRange(q []float32, K, V *vec.Matrix, lo, hi int) Partial {
 	return OverRangeScratch(nil, q, K, V, lo, hi)
 }
 
+// OverQ8 computes partial attention with logits gathered from the SQ8 key
+// plane (values stay fp32). Allocating form of OverQ8Scratch; see that
+// function for the tolerance statement.
+func OverQ8(q []float32, qK *vec.QuantMatrix, V *vec.Matrix, idx []int) Partial {
+	return OverQ8Scratch(nil, q, qK, V, idx)
+}
+
 // Merge combines partial attention results over disjoint subsets into the
 // attention output over their union, weighting each partial by
 // exp(LSE_i − max LSE) — the same aggregation FlashAttention and

@@ -28,6 +28,7 @@ type Scratch struct {
 	w      []float32
 	out    []float32
 	sorted []float32
+	qq     vec.QueryQ8 // quantized query of the SQ8 partial (OverQ8Scratch)
 }
 
 // growF32 returns buf resized to n entries, reallocating only on capacity
@@ -144,6 +145,39 @@ func OverRangeScratch(sc *Scratch, q []float32, K, V *vec.Matrix, lo, hi int) Pa
 // SparseScratch is Sparse computing into sc's arena.
 func SparseScratch(sc *Scratch, q []float32, K, V *vec.Matrix, idx []int) []float32 {
 	return OverScratch(sc, q, K, V, idx).Output
+}
+
+// OverQ8Scratch is OverScratch with logits gathered from the SQ8 key plane:
+// the query is quantized once into the arena and each listed row is scored
+// by the fused int8 kernel (one int32 code dot, one dequantizing multiply).
+// Values stay fp32, so only the score side is approximate.
+//
+// Tolerance: each raw logit differs from the exact dot against the
+// (snapped) fp32 plane by at most qK.DotErrBound(...) — before the 1/√d
+// logit scaling — so the softmax weights, and therefore the output, are
+// exact up to that bound; with per-row scales the bound is a fraction of a
+// percent of the logit range in practice. Callers needing bitwise fp32
+// output use OverScratch.
+func OverQ8Scratch(sc *Scratch, q []float32, qK *vec.QuantMatrix, V *vec.Matrix, idx []int) Partial {
+	if qK.Rows() != V.Rows() {
+		panic(fmt.Sprintf("attention: quant K has %d rows, V has %d", qK.Rows(), V.Rows()))
+	}
+	if len(idx) == 0 {
+		return Partial{Output: sc.outBuf(V.Cols()), LSE: math.Inf(-1)}
+	}
+	logits, w, out := sc.buffers(len(idx), V.Cols())
+	if sc == nil {
+		var qq vec.QueryQ8
+		qq.Quantize(q)
+		vec.DotGatherQ8(&qq, qK, idx, logits)
+	} else {
+		sc.qq.Quantize(q)
+		vec.DotGatherQ8(&sc.qq, qK, idx, logits)
+	}
+	scaleLogits(logits, len(q))
+	lse := vec.Softmax(logits, w)
+	vec.WeightedSumGather(w, V, idx, out)
+	return Partial{Output: out, LSE: lse, Count: len(idx)}
 }
 
 // MergeInto combines partials exactly as Merge does, accumulating into dst

@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("quant", "SQ8 quantized key plane: fp32 vs int8 fused-scoring decode throughput, resident + spilled key bytes, recall@32 after fp32 rerank", runQuant)
+}
+
+// QuantReportData is the machine-readable artefact of the quant experiment
+// (written to BENCH_PR4.json by CI): decode throughput of the fused int8
+// scoring path against fp32, the key bytes the two configurations keep and
+// spill, and retrieval parity after the fp32 rerank.
+type QuantReportData struct {
+	ContextLen int `json:"context_len"`
+	Layers     int `json:"layers"`
+	QHeads     int `json:"q_heads"`
+	// DecodeTokens is how many decode steps each configuration timed.
+	DecodeTokens int `json:"decode_tokens"`
+	// *TokensPerSec is decode-step throughput: every layer and head of a
+	// token attended through the session (retrieval + partial attention +
+	// merge), queries precomputed so the substrate's query synthesis is
+	// not measured.
+	FP32TokensPerSec float64 `json:"fp32_tokens_per_sec"`
+	SQ8TokensPerSec  float64 `json:"sq8_tokens_per_sec"`
+	// Speedup is SQ8 over fp32 decode throughput.
+	Speedup float64 `json:"speedup"`
+	// Key-plane footprints. The resident scoring plane is what decode
+	// streams: the fp32 key matrices in the fp32 configuration, the int8
+	// codes + per-row metadata under SQ8 (the fp32 mirror kept for rerank
+	// and materialization is cold and reported separately).
+	FP32KeyPlaneBytes int64 `json:"fp32_key_plane_bytes"`
+	SQ8KeyPlaneBytes  int64 `json:"sq8_key_plane_bytes"`
+	SQ8MirrorBytes    int64 `json:"sq8_fp32_mirror_bytes"`
+	// Spilled key bytes: the L*H*.keys files a spill of the context writes
+	// (values are fp32 in both layouts and excluded).
+	FP32SpilledKeyBytes int64 `json:"fp32_spilled_key_bytes"`
+	SQ8SpilledKeyBytes  int64 `json:"sq8_spilled_key_bytes"`
+	// KeyBytesReduction is 1 − (SQ8 plane + spill)/(fp32 plane + spill).
+	KeyBytesReduction float64 `json:"key_bytes_reduction"`
+	// RecallAt32 is the fraction of fp32 top-32 retrieved tokens the SQ8
+	// configuration also retrieves, averaged over every (layer, head);
+	// tokens swapped across the rank-32 boundary count as retrieved when
+	// their fp32 score gap is within twice the snapping perturbation bound
+	// (the planes may legitimately order such pairs either way).
+	RecallAt32 float64 `json:"recall_at_32"`
+	// RerankPerSearch is the mean fp32 rerank volume of an SQ8 retrieval.
+	RerankPerSearch float64 `json:"rerank_per_search"`
+}
+
+// quantBenchDB builds a DB whose device never fits the coarse block cache,
+// so every long query plans DIPR — the retrieval path quantization
+// accelerates (flat scan on layer 0, graph traversal elsewhere).
+func quantBenchDB(s Scale, quant bool) (*core.DB, error) {
+	m := model.New(s.Model)
+	mc := m.Config()
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(mc.Layers) * int64(mc.KVHeads) * int64(mc.HeadDim) * 4 * 2
+	dev := devmem.New(m.WeightsBytes() + 2*winBytes + 4096)
+	return core.New(core.Config{
+		Model:         m,
+		Device:        dev,
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers},
+		Workers:       1,             // serial scans: the kernel difference, not fan-out, is measured
+		Pool:          pool.Serial(), // inline fan-out for stable single-thread timing
+		QuantKeys:     quant,
+	})
+}
+
+// keyFileBytes sums the sizes of a saved context's key files.
+func keyFileBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".keys") {
+			if info, err := e.Info(); err == nil {
+				n += info.Size()
+			}
+		}
+	}
+	return n, nil
+}
+
+// benchConfig holds one configuration's session plus its measured facts.
+type benchConfig struct {
+	db       *core.DB
+	sess     *core.Session
+	ctx      *core.Context
+	tokens   float64 // decode tokens/sec
+	results  [][]core.AttentionResult
+	keyBytes int64 // spilled key-file bytes
+}
+
+// runConfig imports the workload, times decode steps, and spills the
+// context to measure its key files.
+func runConfig(s Scale, inst workload.Instance, qs [][][]float32, quant bool, steps int) (*benchConfig, error) {
+	db, err := quantBenchDB(s, quant)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := db.Import(inst.Doc, db.Model().BuildKV(inst.Doc))
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	sess, reused := db.CreateSession(inst.Doc)
+	if reused != inst.Doc.Len() {
+		sess.Close()
+		db.Close()
+		return nil, fmt.Errorf("bench: quant config reused %d of %d tokens", reused, inst.Doc.Len())
+	}
+	mc := db.Model().Config()
+	outs := make([][]core.AttentionResult, mc.Layers)
+	for l := range outs {
+		outs[l] = make([]core.AttentionResult, mc.QHeads)
+	}
+	step := func() {
+		for l := 0; l < mc.Layers; l++ {
+			sess.AttentionAllInto(l, qs[l], outs[l])
+		}
+	}
+	step() // warm arenas and caches
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		step()
+	}
+	elapsed := time.Since(start)
+
+	dir, err := os.MkdirTemp("", "alaya-quant-*")
+	if err != nil {
+		sess.Close()
+		db.Close()
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := db.SaveContext(ctx, filepath.Join(dir, "ctx")); err != nil {
+		sess.Close()
+		db.Close()
+		return nil, err
+	}
+	kb, err := keyFileBytes(filepath.Join(dir, "ctx"))
+	if err != nil {
+		sess.Close()
+		db.Close()
+		return nil, err
+	}
+	return &benchConfig{
+		db:       db,
+		sess:     sess,
+		ctx:      ctx,
+		tokens:   float64(steps) / elapsed.Seconds(),
+		results:  outs,
+		keyBytes: kb,
+	}, nil
+}
+
+// recallAt32 scores both configurations' retrieved sets on the raw fp32
+// key plane (regenerated through the substrate) with the boundary-swap
+// tolerance described on QuantReportData.RecallAt32.
+func recallAt32(m *model.Model, doc *model.Document, qs [][][]float32, fp, sq [][]core.AttentionResult) float64 {
+	mc := m.Config()
+	const k = 32
+	var sum float64
+	var cells int
+	for l := 0; l < mc.Layers; l++ {
+		for h := 0; h < mc.QHeads; h++ {
+			kv := m.KVGroup(h)
+			q := qs[l][h]
+			score := func(pos int) float32 {
+				var s float32
+				key := m.KeyVector(doc, pos, l, kv)
+				for j := range q {
+					s += q[j] * key[j]
+				}
+				return s
+			}
+			// Snapping perturbation bound: (maxScale/2)·‖q‖₁, maxScale from
+			// the raw keys (scale = max|row|/127).
+			var maxScale float64
+			for pos := 0; pos < doc.Len(); pos++ {
+				key := m.KeyVector(doc, pos, l, kv)
+				var maxAbs float64
+				for _, x := range key {
+					if a := math.Abs(float64(x)); a > maxAbs {
+						maxAbs = a
+					}
+				}
+				if sc := maxAbs / 127; sc > maxScale {
+					maxScale = sc
+				}
+			}
+			var l1 float64
+			for _, x := range q {
+				l1 += math.Abs(float64(x))
+			}
+			tol := float32(maxScale * l1) // 2 · (maxScale/2)·‖q‖₁
+
+			fpIDs := fp[l][h].RetrievedIDs
+			sqIDs := sq[l][h].RetrievedIDs
+			if len(fpIDs) > k {
+				fpIDs = fpIDs[:k]
+			}
+			if len(sqIDs) > k {
+				sqIDs = sqIDs[:k]
+			}
+			got := make(map[int]bool, len(sqIDs))
+			boundary := float32(math.Inf(1))
+			for _, id := range sqIDs {
+				got[id] = true
+				if s := score(id); s < boundary {
+					boundary = s
+				}
+			}
+			hit := 0
+			for _, id := range fpIDs {
+				if got[id] || score(id) <= boundary+tol {
+					hit++
+				}
+			}
+			if len(fpIDs) > 0 {
+				sum += float64(hit) / float64(len(fpIDs))
+				cells++
+			}
+		}
+	}
+	if cells == 0 {
+		return 1
+	}
+	return sum / float64(cells)
+}
+
+// QuantReport measures the fp32 and SQ8 configurations at scale s.
+func QuantReport(s Scale) (*QuantReportData, error) {
+	s.Defaults()
+	steps := 8 * s.Trials
+
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	m := model.New(s.Model)
+	mc := m.Config()
+	qs := make([][][]float32, mc.Layers)
+	for l := range qs {
+		qs[l] = make([][]float32, mc.QHeads)
+		for h := range qs[l] {
+			qs[l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+				FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+		}
+	}
+
+	fp, err := runConfig(s, inst, qs, false, steps)
+	if err != nil {
+		return nil, err
+	}
+	defer fp.db.Close()
+	defer fp.sess.Close()
+	sq, err := runConfig(s, inst, qs, true, steps)
+	if err != nil {
+		return nil, err
+	}
+	defer sq.db.Close()
+	defer sq.sess.Close()
+
+	fpPlane := fp.db.StoredKVBytes()
+	sqPlane := sq.db.StoredKVBytes()
+	fpTotal := float64(fpPlane.Keys + fp.keyBytes)
+	sqTotal := float64(sqPlane.QuantKeys + sq.keyBytes)
+
+	return &QuantReportData{
+		ContextLen:          inst.Doc.Len(),
+		Layers:              mc.Layers,
+		QHeads:              mc.QHeads,
+		DecodeTokens:        steps,
+		FP32TokensPerSec:    fp.tokens,
+		SQ8TokensPerSec:     sq.tokens,
+		Speedup:             sq.tokens / fp.tokens,
+		FP32KeyPlaneBytes:   fpPlane.Keys,
+		SQ8KeyPlaneBytes:    sqPlane.QuantKeys,
+		SQ8MirrorBytes:      sqPlane.Keys,
+		FP32SpilledKeyBytes: fp.keyBytes,
+		SQ8SpilledKeyBytes:  sq.keyBytes,
+		KeyBytesReduction:   1 - sqTotal/fpTotal,
+		RecallAt32:          recallAt32(m, inst.Doc, qs, fp.results, sq.results),
+		RerankPerSearch:     sq.db.QuantStats().RerankPerSearch(),
+	}, nil
+}
+
+// WriteQuantTable renders the report as the experiment's textual artefact.
+func WriteQuantTable(data *QuantReportData, w io.Writer) {
+	fmt.Fprintf(w, "SQ8 quantized key plane: context %d, %d layers x %d heads per token, %d decode steps\n\n",
+		data.ContextLen, data.Layers, data.QHeads, data.DecodeTokens)
+	tb := table{header: []string{"key plane", "decode tok/s", "scoring-plane bytes", "spilled key bytes"}}
+	tb.add("fp32", f1(data.FP32TokensPerSec), fmt.Sprintf("%d", data.FP32KeyPlaneBytes), fmt.Sprintf("%d", data.FP32SpilledKeyBytes))
+	tb.add("sq8 + fp32 rerank", f1(data.SQ8TokensPerSec), fmt.Sprintf("%d", data.SQ8KeyPlaneBytes), fmt.Sprintf("%d", data.SQ8SpilledKeyBytes))
+	tb.write(w)
+	fmt.Fprintf(w, "\nspeedup %.2fx, key bytes (scored + spilled) reduced %.1f%%, recall@32 = %.3f, %.0f reranked rows/search\n",
+		data.Speedup, 100*data.KeyBytesReduction, data.RecallAt32, data.RerankPerSearch)
+	fmt.Fprintln(w, "expectation: speedup >= 1.3x at context >= 2048, reduction >= 60%, recall@32 = 1.0 (rerank restores the fp32 token set)")
+}
+
+func runQuant(s Scale, w io.Writer) error {
+	data, err := QuantReport(s)
+	if err != nil {
+		return err
+	}
+	WriteQuantTable(data, w)
+	return nil
+}

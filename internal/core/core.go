@@ -10,12 +10,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/attention"
 	"repro/internal/devmem"
 	"repro/internal/index/graph"
 	"repro/internal/kvcache"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/pool"
 	"repro/internal/query"
@@ -75,6 +77,16 @@ type Config struct {
 	// spilled-context block reads (reloads and cold scans). Defaults to
 	// 64 MiB.
 	SpillCacheBytes int64
+	// QuantKeys enables the SQ8 key plane: stored contexts keep an int8
+	// shadow of every key row (per-row scales), the fp32 key rows are
+	// snapped to the dequantized values, and the whole read path — flat and
+	// graph DIPR retrieval, the host attention partial, spill files, and
+	// cold probes — scores against the quantized plane, reranking
+	// retrieval candidates in fp32 so the returned token sets match the
+	// fp32 configuration. Values are never quantized. Spilled key files
+	// shrink to a quarter of their fp32 size. A spill directory written
+	// with one setting cannot be adopted under the other.
+	QuantKeys bool
 }
 
 func (c *Config) defaults() error {
@@ -86,6 +98,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Window == (attention.Window{}) {
 		c.Window = attention.Window{Sinks: 32, Recent: 32}
+	}
+	if math.IsNaN(float64(c.Beta)) || c.Beta < 0 {
+		return fmt.Errorf("core: Config.Beta must be a non-negative number, got %v", c.Beta)
 	}
 	if c.Beta == 0 {
 		c.Beta = query.Beta(0.5, c.Model.Config().HeadDim)
@@ -124,6 +139,7 @@ type DB struct {
 	clock     int64 // logical clock for context recency
 	evictions int64
 	tier      *tierState // disk spill tier; nil when Config.SpillDir is empty
+	quant     metrics.QuantCounters
 }
 
 // Context is a stored, reusable long context: its prompts (token sequence),
@@ -169,6 +185,12 @@ func New(cfg Config) (*DB, error) {
 // Model returns the substrate the DB serves.
 func (db *DB) Model() *model.Model { return db.cfg.Model }
 
+// QuantEnabled reports whether the DB maintains the SQ8 key plane.
+func (db *DB) QuantEnabled() bool { return db.cfg.QuantKeys }
+
+// QuantStats returns a snapshot of the quantized read path's counters.
+func (db *DB) QuantStats() metrics.QuantSnapshot { return db.quant.Snapshot() }
+
 // Device returns the DB's device accountant.
 func (db *DB) Device() *devmem.Device { return db.cfg.Device }
 
@@ -184,17 +206,37 @@ func (db *DB) NumContexts() int {
 
 // Import stores a precomputed context (prompts + KV cache) for future
 // reuse, building its vector indexes eagerly — the DB.import API of
-// Table 2. The cache must match doc's length.
+// Table 2. The cache must match doc's length. Under Config.QuantKeys the
+// indexes are built over the raw fp32 keys first and the SQ8 plane is
+// enabled afterwards: graph construction sees exactly the vectors an fp32
+// configuration would, so the adjacency (and therefore which nodes a DIPRS
+// traversal can reach) is identical across the two configurations — only
+// the scoring plane differs, and the fp32 rerank absorbs that.
 func (db *DB) Import(doc *model.Document, cache *kvcache.Cache) (*Context, error) {
 	if cache.SeqLen(0) != doc.Len() {
 		return nil, fmt.Errorf("core: cache holds %d tokens, document has %d", cache.SeqLen(0), doc.Len())
 	}
 	ctx := &Context{doc: doc, cache: cache}
 	db.BuildIndexes(ctx)
+	if db.cfg.QuantKeys {
+		cache.EnableQuantKeys() // snaps key rows in place; adjacency is already fixed
+		db.attachQuantPlanes(ctx)
+	}
 	if err := db.registerContext(ctx); err != nil {
 		return nil, err
 	}
 	return ctx, nil
+}
+
+// attachQuantPlanes points every graph of ctx at its kv head's SQ8 plane.
+func (db *DB) attachQuantPlanes(ctx *Context) {
+	for l := 0; l < db.cfg.Model.Config().Layers; l++ {
+		for g := 0; g < ctx.groups; g++ {
+			if gr := ctx.graphs[l*ctx.groups+g]; gr != nil {
+				gr.AttachQuantKeys(ctx.cache.QuantKeys(l, db.kvHeadOfGroup(g)))
+			}
+		}
+	}
 }
 
 // registerContext adds ctx to the resident store, marks it most recently
@@ -268,7 +310,11 @@ func (db *DB) BuildIndexes(ctx *Context) {
 				queries := db.sampleQueries(ctx.doc, j.layer, j.group)
 				gcfg := db.cfg.Graph
 				gcfg.Workers = 1 // parallelism is across jobs here
-				ctx.graphs[j.layer*groups+j.group] = graph.Build(keys, queries, gcfg)
+				g := graph.Build(keys, queries, gcfg)
+				// DIPRS traverses on the SQ8 plane when the cache carries one
+				// (nil detaches, keeping the fp32 path).
+				g.AttachQuantKeys(ctx.cache.QuantKeys(j.layer, kv))
+				ctx.graphs[j.layer*groups+j.group] = g
 			}
 		}()
 	}

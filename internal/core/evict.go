@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/kvcache"
+)
 
 // Context-store capacity management: a DB configured with a byte budget
 // evicts the least-recently-used stored contexts when imports push it over.
@@ -36,6 +40,23 @@ func (db *DB) storedBytesLocked() int64 {
 // adjacency.
 func (ctx *Context) Bytes() int64 {
 	return ctx.cache.Bytes() + ctx.IndexBytes()
+}
+
+// StoredKVBytes returns the KV footprint of all resident contexts split by
+// plane (fp32 keys, fp32 values, SQ8 shadow) — the observable form of the
+// quantization savings: under QuantKeys the scoring plane is QuantKeys
+// bytes, a quarter of the fp32 key plane it shadows.
+func (db *DB) StoredKVBytes() kvcache.ByteSizes {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var b kvcache.ByteSizes
+	for _, ctx := range db.contexts {
+		s := ctx.cache.BytesSplit()
+		b.Keys += s.Keys
+		b.Values += s.Values
+		b.QuantKeys += s.QuantKeys
+	}
+	return b
 }
 
 // touch marks ctx most-recently-used. Caller holds db.mu for writing.

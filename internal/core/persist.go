@@ -33,14 +33,24 @@ type manifest struct {
 	ShareGQA  bool          `json:"share_gqa"`
 	Entries   []int32       `json:"entries"` // graph entry points, layer*groups+group
 	BlockSize int           `json:"block_size"`
+	// Quant marks the SQ8 layout: every .keys file stores packed int8 codes
+	// (vec.PackedWords(HeadDim) words per row — a quarter of the fp32
+	// payload) instead of fp32 rows, with the per-row dequantization scales
+	// here in the manifest, indexed layer*KVHeads+head. Values stay fp32.
+	Quant       bool        `json:"quant,omitempty"`
+	QuantScales [][]float32 `json:"quant_scales,omitempty"`
 }
 
-// SaveContext persists a stored context into dir (created if absent).
+// SaveContext persists a stored context into dir (created if absent). A
+// cache carrying the SQ8 plane saves its keys in code form — packed int8
+// rows a quarter of the fp32 size, scales in the manifest — from which
+// reload reconstructs the identical snapped fp32 plane.
 func (db *DB) SaveContext(ctx *Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: save context: %w", err)
 	}
 	mc := db.cfg.Model.Config()
+	quant := ctx.cache.QuantEnabled()
 	man := manifest{
 		Version:   1,
 		Model:     mc,
@@ -50,20 +60,33 @@ func (db *DB) SaveContext(ctx *Context, dir string) error {
 		ShareGQA:  *db.cfg.ShareGQA,
 		Entries:   make([]int32, len(ctx.graphs)),
 		BlockSize: vfs.DefaultBlock,
+		Quant:     quant,
 	}
 	for i, g := range ctx.graphs {
 		if g != nil {
 			man.Entries[i] = g.Entry()
 		}
 	}
+	if quant {
+		man.QuantScales = make([][]float32, mc.Layers*mc.KVHeads)
+	}
 
 	for l := 0; l < mc.Layers; l++ {
 		for h := 0; h < mc.KVHeads; h++ {
-			kf, err := vfs.Create(filepath.Join(dir, fmt.Sprintf("L%dH%d.keys", l, h)), vfs.DefaultBlock, mc.HeadDim)
+			keyDim := mc.HeadDim
+			if quant {
+				keyDim = vec.PackedWords(mc.HeadDim)
+			}
+			kf, err := vfs.Create(filepath.Join(dir, fmt.Sprintf("L%dH%d.keys", l, h)), vfs.DefaultBlock, keyDim)
 			if err != nil {
 				return err
 			}
-			if err := kf.AppendMatrix(ctx.cache.Keys(l, h)); err != nil {
+			if quant {
+				if err := appendQuantRows(kf, ctx.cache.QuantKeys(l, h), &man, l*mc.KVHeads+h); err != nil {
+					kf.Close()
+					return err
+				}
+			} else if err := kf.AppendMatrix(ctx.cache.Keys(l, h)); err != nil {
 				kf.Close()
 				return err
 			}
@@ -136,6 +159,22 @@ func (db *DB) LoadContext(dir string) (*Context, error) {
 	return ctx, nil
 }
 
+// appendQuantRows writes one head's SQ8 key rows into kf in packed code
+// form (vec.PackRow) and records the per-row scales in the manifest slot.
+func appendQuantRows(kf *vfs.FS, qm *vec.QuantMatrix, man *manifest, slot int) error {
+	words := make([]float32, vec.PackedWords(qm.Cols()))
+	scales := make([]float32, qm.Rows())
+	for i := 0; i < qm.Rows(); i++ {
+		qm.PackRow(i, words)
+		if _, err := kf.AppendVector(words); err != nil {
+			return err
+		}
+		scales[i] = qm.Scale(i)
+	}
+	man.QuantScales[slot] = scales
+	return nil
+}
+
 // matrixReader materializes the vector payload of one open spill file. The
 // direct path is (*vfs.FS).ReadAll; the spill tier substitutes a reader
 // that pages blocks through the shared buffer manager (tier.go).
@@ -174,6 +213,21 @@ func (db *DB) readManifest(dir string) (*manifest, error) {
 			return nil, fmt.Errorf("core: manifest entry %d (%d) out of range for %d tokens", i, e, len(man.Tokens))
 		}
 	}
+	if man.Quant != db.cfg.QuantKeys {
+		return nil, fmt.Errorf("core: context key layout (quant=%v) differs from DB (quant=%v)", man.Quant, db.cfg.QuantKeys)
+	}
+	if man.Quant {
+		// The scales size key-row reconstruction: a crafted manifest must
+		// fail here, not index out of range while dequantizing.
+		if len(man.QuantScales) != mc.Layers*mc.KVHeads {
+			return nil, fmt.Errorf("core: manifest has %d scale slots for %d heads", len(man.QuantScales), mc.Layers*mc.KVHeads)
+		}
+		for i, s := range man.QuantScales {
+			if len(s) != len(man.Tokens) {
+				return nil, fmt.Errorf("core: scale slot %d has %d scales for %d tokens", i, len(s), len(man.Tokens))
+			}
+		}
+	}
 	return &man, nil
 }
 
@@ -193,6 +247,13 @@ func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
 		cache:  kvcache.New(mc.Layers, mc.KVHeads, mc.HeadDim),
 		groups: man.Groups,
 		graphs: make([]*graph.Graph, mc.Layers*man.Groups),
+	}
+	if man.Quant {
+		ctx.cache.EnableQuantKeys() // empty cache: appends maintain the plane
+	}
+	var codes []int8
+	if man.Quant {
+		codes = make([]int8, mc.HeadDim)
 	}
 	for l := 0; l < mc.Layers; l++ {
 		for h := 0; h < mc.KVHeads; h++ {
@@ -228,12 +289,30 @@ func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
 			if keys.Rows() != vals.Rows() {
 				return nil, fmt.Errorf("core: layer %d head %d: %d keys vs %d values", l, h, keys.Rows(), vals.Rows())
 			}
-			for i := 0; i < keys.Rows(); i++ {
-				ctx.cache.Append(l, h, keys.Row(i), vals.Row(i))
+			if man.Quant {
+				// Packed SQ8 rows: reconstruct codes bit-exactly and let the
+				// cache materialize the snapped fp32 plane by dequantization.
+				if want := vec.PackedWords(mc.HeadDim); keys.Cols() != want {
+					return nil, fmt.Errorf("core: layer %d head %d: packed key width %d, want %d", l, h, keys.Cols(), want)
+				}
+				scales := man.QuantScales[l*mc.KVHeads+h]
+				if keys.Rows() != len(scales) {
+					return nil, fmt.Errorf("core: layer %d head %d: %d key rows for %d scales", l, h, keys.Rows(), len(scales))
+				}
+				for i := 0; i < keys.Rows(); i++ {
+					vec.UnpackCodes(keys.Row(i), codes)
+					ctx.cache.AppendQuantized(l, h, codes, scales[i], vals.Row(i))
+				}
+			} else {
+				for i := 0; i < keys.Rows(); i++ {
+					ctx.cache.Append(l, h, keys.Row(i), vals.Row(i))
+				}
 			}
 			if man.ShareGQA && adj != nil {
 				slot := l*man.Groups + h
-				ctx.graphs[slot] = graph.FromAdjacency(ctx.cache.Keys(l, h), adj, man.Entries[slot], db.cfg.Graph)
+				g := graph.FromAdjacency(ctx.cache.Keys(l, h), adj, man.Entries[slot], db.cfg.Graph)
+				g.AttachQuantKeys(ctx.cache.QuantKeys(l, h))
+				ctx.graphs[slot] = g
 			}
 		}
 		if !man.ShareGQA {
@@ -253,7 +332,9 @@ func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
 				}
 				slot := l*man.Groups + g
 				kv := db.kvHeadOfGroup(g)
-				ctx.graphs[slot] = graph.FromAdjacency(ctx.cache.Keys(l, kv), adj, man.Entries[slot], db.cfg.Graph)
+				gr := graph.FromAdjacency(ctx.cache.Keys(l, kv), adj, man.Entries[slot], db.cfg.Graph)
+				gr.AttachQuantKeys(ctx.cache.QuantKeys(l, kv))
+				ctx.graphs[slot] = gr
 			}
 		}
 	}

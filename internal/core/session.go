@@ -83,6 +83,9 @@ type Stats struct {
 	// CoarseFallbacks counts coarse-plan queries downgraded because the
 	// device could not hold the block cache.
 	CoarseFallbacks int64
+	// Reranked is the total band candidates quantized DIPR retrievals
+	// rescored in fp32 (0 without Config.QuantKeys).
+	Reranked int64
 }
 
 func newSession(db *DB, base *Context, reuseLen int, doc *model.Document) *Session {
@@ -297,6 +300,7 @@ func (s *Session) attentionInto(ds *decodeState, layer, qHead int, q []float32, 
 
 	var retrieved []int
 	explored := 0
+	reranked := 0
 	switch plan.Query {
 	case query.KindFull:
 		// Everything participates; no retrieval.
@@ -315,7 +319,10 @@ func (s *Session) attentionInto(ds *decodeState, layer, qHead int, q []float32, 
 		}
 	}
 	if plan.Query == query.KindDIPR {
-		retrieved, explored = s.executeDIPR(ds, plan, layer, qHead, kv, q)
+		retrieved, explored, reranked = s.executeDIPR(ds, plan, layer, qHead, kv, q)
+		if s.base != nil && s.reuseLen > 0 {
+			s.db.quant.RecordSearch(s.base.cache.QuantEnabled(), reranked)
+		}
 	}
 
 	attended := s.sparseOutputInto(ds, plan, layer, kv, q, res, retrieved)
@@ -329,6 +336,7 @@ func (s *Session) attentionInto(ds *decodeState, layer, qHead int, q []float32, 
 	s.stats.Plans[plan.String()]++
 	s.stats.Retrieved += int64(res.Retrieved)
 	s.stats.Explored += int64(res.Explored)
+	s.stats.Reranked += int64(reranked)
 	s.stats.Queries++
 	s.mu.Unlock()
 }
@@ -359,10 +367,11 @@ func (s *Session) coarseNeed() int64 {
 // planned index, through ds's search arenas. The attended set is bounded to
 // an eighth of the prefix (min 64): diffuse heads' β-bands can span much of
 // the context, and like InfLLM's block budget, production retrieval is
-// bounded. The returned ids alias ds.
-func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv int, q []float32) ([]int, int) {
+// bounded. The returned ids alias ds. The final result reports how many
+// band candidates were reranked in fp32 (0 on the fp32 plane).
+func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv int, q []float32) ([]int, int, int) {
 	if s.base == nil || s.reuseLen == 0 {
-		return nil, 0
+		return nil, 0, 0
 	}
 	beta := s.db.cfg.Beta
 	limit := s.reuseLen
@@ -372,7 +381,8 @@ func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv
 	}
 
 	if plan.Index == query.IndexFlat {
-		return s.flatDIPR(ds, layer, kv, q, beta, limit, resultCap), limit
+		ids, reranked := s.flatDIPR(ds, layer, kv, q, beta, limit, resultCap)
+		return ids, limit, reranked
 	}
 
 	g := s.base.Graph(s.db, layer, qHead)
@@ -380,12 +390,15 @@ func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv
 		s.mu.Lock()
 		s.stats.FlatFallbacks++
 		s.mu.Unlock()
-		return s.flatDIPR(ds, layer, kv, q, beta, limit, resultCap), limit
+		ids, reranked := s.flatDIPR(ds, layer, kv, q, beta, limit, resultCap)
+		return ids, limit, reranked
 	}
 
 	cfg := query.DIPRSConfig{Beta: beta, MaxResults: resultCap, MaxExplore: 4 * resultCap}
 	// Window-cache enhancement (§7.1): seed the running maximum with the
-	// best inner product inside the device window's prefix part.
+	// best inner product inside the device window's prefix part. The seed
+	// is exact (the snapped fp32 plane); a quantized traversal lowers it by
+	// its error bound internally.
 	if max, ok := query.WindowMax(q, s.base.cache.Keys(layer, kv), ds.winPrefix); ok {
 		cfg.InitialMax = max
 		cfg.HasInitialMax = true
@@ -404,13 +417,14 @@ func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv
 		}
 	}
 	ds.ids = ids
-	return ids, r.Explored
+	return ids, r.Explored, r.Reranked
 }
 
 // flatDIPR runs the exact band scan over the reused prefix through ds's
-// flat scratch. The returned ids alias ds.
-func (s *Session) flatDIPR(ds *decodeState, layer, kv int, q []float32, beta float32, limit, resultCap int) []int {
-	fx := flat.Make(s.base.cache.Keys(layer, kv), s.db.cfg.Workers)
+// flat scratch — on the SQ8 plane with an fp32 rerank when the stored
+// context carries one. The returned ids alias ds.
+func (s *Session) flatDIPR(ds *decodeState, layer, kv int, q []float32, beta float32, limit, resultCap int) ([]int, int) {
+	fx := flat.MakeQuant(s.base.cache.Keys(layer, kv), s.base.cache.QuantKeys(layer, kv), s.db.cfg.Workers)
 	cands, _ := fx.DIPRFilteredScratch(&ds.flat, q, beta, limit)
 	if len(cands) > resultCap {
 		cands = cands[:resultCap] // best-first: keep the top of the band
@@ -420,7 +434,7 @@ func (s *Session) flatDIPR(ds *decodeState, layer, kv int, q []float32, beta flo
 		ids = append(ids, int(c.ID))
 	}
 	ds.ids = ids
-	return ids
+	return ids, ds.flat.Reranked
 }
 
 // windowPrefixInto collects into ds.winPrefix the device-window positions
@@ -474,7 +488,7 @@ func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv i
 	if p := s.db.cfg.Pool; p.Size() > 0 && s.base != nil && len(prefixIdx) > 0 {
 		p.Run(
 			func() {
-				ds.parts[0] = attention.OverScratch(&ds.scPrefix, q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+				ds.parts[0] = s.prefixPartial(ds, layer, kv, q, prefixIdx)
 			},
 			func() {
 				ds.parts[1] = attention.OverRangeScratch(&ds.scTail, q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), 0, tailLen)
@@ -482,7 +496,7 @@ func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv i
 		)
 	} else {
 		if s.base != nil && len(prefixIdx) > 0 {
-			ds.parts[0] = attention.OverScratch(&ds.scPrefix, q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+			ds.parts[0] = s.prefixPartial(ds, layer, kv, q, prefixIdx)
 		} else {
 			ds.parts[0] = attention.Partial{LSE: math.Inf(-1)}
 		}
@@ -496,6 +510,17 @@ func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv i
 	}
 	attention.MergeInto(res.Output, ds.parts[:])
 	return len(prefixIdx) + tailLen
+}
+
+// prefixPartial computes the host-side partial over the reused prefix —
+// the data-centric engine's host half (§7.2). With the SQ8 plane enabled,
+// logits gather from the quantized storage (a quarter of the key traffic);
+// values are always mixed in fp32.
+func (s *Session) prefixPartial(ds *decodeState, layer, kv int, q []float32, prefixIdx []int) attention.Partial {
+	if qk := s.base.cache.QuantKeys(layer, kv); qk != nil {
+		return attention.OverQ8Scratch(&ds.scPrefix, q, qk, s.base.cache.Values(layer, kv), prefixIdx)
+	}
+	return attention.OverScratch(&ds.scPrefix, q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
 }
 
 // coarseIndex lazily builds (and device-registers) the coarse index for

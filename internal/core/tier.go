@@ -481,10 +481,20 @@ func (db *DB) SpilledDIPRS(doc *model.Document, layer, qHead int, q []float32, c
 	if err != nil {
 		return query.Result{}, err
 	}
-	if adj == nil {
-		return coldFlatDIPR(vs, q, cfg)
+	// Under the SQ8 layout the keys file holds packed codes: wrap it in the
+	// decoding row source, so the traversal pages in a quarter of the bytes
+	// and scores the same snapped fp32 plane a resident search would.
+	var rows storage.RowSource = vs
+	if man.Quant {
+		rows, err = storage.NewQuantRows(vs, man.QuantScales[layer*db.cfg.Model.Config().KVHeads+kv], db.cfg.Model.Config().HeadDim)
+		if err != nil {
+			return query.Result{}, err
+		}
 	}
-	g, err := storage.NewDiskGraph(adj, man.Entries[slot], vs)
+	if adj == nil {
+		return coldFlatDIPR(rows, q, cfg)
+	}
+	g, err := storage.NewDiskGraph(adj, man.Entries[slot], rows)
 	if err != nil {
 		return query.Result{}, err
 	}
@@ -501,14 +511,14 @@ func (db *DB) SpilledDIPRS(doc *model.Document, layer, qHead int, q []float32, c
 // coldFlatDIPR is the index-less cold probe: a sequential block scan over
 // the spilled keys, keeping the β-band of the running maximum — the flat
 // DIPR semantics of internal/index/flat, but demand-paged.
-func coldFlatDIPR(vs *storage.VectorStore, q []float32, cfg query.DIPRSConfig) (query.Result, error) {
+func coldFlatDIPR(vs storage.RowSource, q []float32, cfg query.DIPRSConfig) (query.Result, error) {
 	maxIP := float32(math.Inf(-1))
 	if cfg.HasInitialMax {
 		maxIP = cfg.InitialMax
 	}
 	var cands []index.Candidate
 	explored := 0
-	err := vs.ScanBlocks(func(id int, v []float32) error {
+	err := vs.Scan(func(id int, v []float32) error {
 		if cfg.Filter != nil && !cfg.Filter(int32(id)) {
 			return nil
 		}

@@ -5,10 +5,12 @@
 // tokens that graph traversal would be slower than a scan (Table 4).
 //
 // Scans score keys through vec.DotBatchRange, walking the key matrix's
-// backing array in row blocks. The DIPR path has a scratch form
-// (DIPRFilteredScratch) whose score buffer, selection heap, and result
-// slice live in a caller-owned Scratch reused across queries, making warm
-// scans allocation-free.
+// backing array in row blocks — or, with an SQ8 plane attached (MakeQuant),
+// through the fused int8 kernels with a widened band and an fp32 rerank
+// that restores the exact result. The DIPR and TopK paths have scratch
+// forms (DIPRFilteredScratch, TopKScratch) whose score buffer, selection
+// heap, and result slice live in a caller-owned Scratch reused across
+// queries, making warm scans allocation-free.
 package flat
 
 import (
@@ -22,8 +24,15 @@ import (
 // the matrix must not shrink while the index is in use. Appending rows is
 // allowed — the scan reads the current length. The zero-cost way to obtain
 // one per query is Make, which returns a value.
+//
+// With a quantized plane attached (MakeQuant), DIPR scans score rows
+// through the SQ8 fused kernels and widen β by twice the scoring error
+// bound, then rerank the surviving band in fp32 — so the returned
+// candidates are exactly the fp32 scan's (the widened quantized band is a
+// proven superset of the exact band over the snapped key plane).
 type Index struct {
-	keys *vec.Matrix
+	keys  *vec.Matrix
+	qkeys *vec.QuantMatrix // SQ8 scoring plane; nil = fp32 scans
 	// Workers bounds scan parallelism; 0 means single-threaded.
 	workers int
 }
@@ -44,21 +53,51 @@ func Make(keys *vec.Matrix, workers int) Index {
 	return Index{keys: keys, workers: workers}
 }
 
+// MakeQuant is Make with an SQ8 scoring plane. qkeys must shadow keys row
+// for row (kvcache maintains exactly that); a nil qkeys degrades to fp32
+// scans.
+func MakeQuant(keys *vec.Matrix, qkeys *vec.QuantMatrix, workers int) Index {
+	x := Make(keys, workers)
+	x.qkeys = qkeys
+	return x
+}
+
 // Scratch holds the reusable working set of one scanning goroutine: the
-// per-key score buffer, the selection heap, and the sorted result slice.
-// Results returned by the *Scratch methods alias the arena and are valid
-// only until its next use. Not safe for concurrent use.
+// per-key score buffer, the selection heap, the sorted result slice, and —
+// for quantized scans — the quantized query, the band id list, and the
+// fp32 rerank buffer. Results returned by the *Scratch methods alias the
+// arena and are valid only until its next use. Not safe for concurrent use.
 type Scratch struct {
 	scores []float32
 	heap   index.MinHeap
 	out    []index.Candidate
+	qq     vec.QueryQ8
+	ids    []int
+	exact  []float32
+	// Reranked is the number of band candidates the last quantized DIPR
+	// scan reranked in fp32 (0 after an fp32 scan) — the observable cost of
+	// absorbing quantization error.
+	Reranked int
 }
 
 // Len returns the number of indexed vectors.
 func (x Index) Len() int { return x.keys.Rows() }
 
-// TopK returns the k highest-inner-product candidates, best first.
+// TopK returns the k highest-inner-product candidates, best first. The
+// result is freshly backed (the scratch it computes through is local) and
+// safe to retain; repeated queries should call TopKScratch with a reused
+// arena instead.
 func (x Index) TopK(q []float32, k int) []index.Candidate {
+	var sc Scratch
+	return x.TopKScratch(&sc, q, k)
+}
+
+// TopKScratch is TopK computing through sc's arena: the score buffer,
+// selection heap, and sorted result slice are all reused across queries, so
+// a warm serial scan is allocation-free. The returned slice aliases sc and
+// is valid until its next use. The parallel path (workers > 1 over a large
+// matrix) still allocates its per-worker heaps.
+func (x Index) TopKScratch(sc *Scratch, q []float32, k int) []index.Candidate {
 	n := x.keys.Rows()
 	if k > n {
 		k = n
@@ -67,13 +106,30 @@ func (x Index) TopK(q []float32, k int) []index.Candidate {
 		return nil
 	}
 	if x.workers == 1 || n < 4096 {
-		h := make(index.MinHeap, 0, k)
-		x.scanRange(q, 0, n, func(id int32, score float32) {
-			h.PushBounded(index.Candidate{ID: id, Score: score}, k)
-		})
-		return h.Sorted()
+		if cap(sc.scores) < n {
+			sc.scores = make([]float32, n)
+		}
+		scores := sc.scores[:n]
+		vec.DotBatchRange(q, x.keys, 0, n, scores)
+		// Select through sc.heap in place: a local heap header would escape
+		// through the non-inlined PushBounded and cost one allocation per
+		// query.
+		sc.heap = sc.heap[:0]
+		for i, s := range scores {
+			sc.heap.PushBounded(index.Candidate{ID: int32(i), Score: s}, k)
+		}
+		sc.out = sc.heap.SortedInto(sc.out) // drains the heap, capacity retained
+		return sc.out
 	}
-	// Parallel: each worker selects a local top-k; merge.
+	return x.topKParallel(q, k)
+}
+
+// topKParallel is the fan-out top-k: each worker selects a local top-k over
+// its chunk; the locals merge at the end. Kept out of TopKScratch so the
+// goroutine closures (which force their captures onto the heap) never tax
+// the serial scratch path.
+func (x Index) topKParallel(q []float32, k int) []index.Candidate {
+	n := x.keys.Rows()
 	locals := make([]index.MinHeap, x.workers)
 	var wg sync.WaitGroup
 	chunk := (n + x.workers - 1) / x.workers
@@ -123,6 +179,13 @@ func (x Index) DIPRFiltered(q []float32, beta float32, limit int) ([]index.Candi
 
 // DIPRFilteredScratch is DIPRFiltered computing through sc's arena: the
 // returned candidate slice aliases sc and is valid until its next use.
+//
+// With a quantized plane attached, the scan runs on the SQ8 kernels: the
+// band threshold is widened by twice the fused-scoring error bound (so no
+// exact band member can be pruned by quantization error), the widened band
+// is reranked with exact fp32 dots, and the exact β band of the reranked
+// scores is returned — identical to the fp32 scan's result. sc.Reranked
+// records the rerank volume.
 func (x Index) DIPRFilteredScratch(sc *Scratch, q []float32, beta float32, limit int) ([]index.Candidate, float32) {
 	n := x.keys.Rows()
 	if limit < n {
@@ -135,52 +198,14 @@ func (x Index) DIPRFilteredScratch(sc *Scratch, q []float32, beta float32, limit
 		sc.scores = make([]float32, n)
 	}
 	scores := sc.scores[:n]
-	best := float32(0)
-	if x.workers == 1 || n < 4096 {
-		// Serial path: no closures, so a warm scratch scan is allocation-free.
-		vec.DotBatchRange(q, x.keys, 0, n, scores)
-		best = scores[0]
-		for _, s := range scores[1:] {
-			if s > best {
-				best = s
-			}
-		}
-	} else {
-		scan := func(lo, hi int) float32 {
-			vec.DotBatchRange(q, x.keys, lo, hi, scores[lo:hi])
-			localBest := scores[lo]
-			for _, s := range scores[lo+1 : hi] {
-				if s > localBest {
-					localBest = s
-				}
-			}
-			return localBest
-		}
-		bests := make([]float32, x.workers)
-		var wg sync.WaitGroup
-		chunk := (n + x.workers - 1) / x.workers
-		for w := 0; w < x.workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				bests[w] = scores[0] // placeholder, overwritten below if empty
-				continue
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				bests[w] = scan(lo, hi)
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		best = bests[0]
-		for _, b := range bests[1:] {
-			if b > best {
-				best = b
-			}
-		}
+	quant := x.qkeys != nil && x.qkeys.Rows() >= n
+	if quant {
+		sc.qq.Quantize(q)
+	}
+	best := x.scanBest(sc, q, quant, n, scores)
+	sc.Reranked = 0
+	if quant {
+		return x.rerankBand(sc, q, beta, n, scores, best)
 	}
 	threshold := best - beta
 	h := sc.heap[:0]
@@ -191,6 +216,112 @@ func (x Index) DIPRFilteredScratch(sc *Scratch, q []float32, beta float32, limit
 	}
 	sc.heap = h[:0] // retain grown capacity for the next query
 	sc.out = h.SortedInto(sc.out)
+	return sc.out, best
+}
+
+// scanBest fills scores[0:n] — fused SQ8 scores when quant is set, exact
+// fp32 dots otherwise — and returns the maximum.
+func (x Index) scanBest(sc *Scratch, q []float32, quant bool, n int, scores []float32) float32 {
+	if x.workers == 1 || n < 4096 {
+		// Serial path: no closures, so a warm scratch scan is
+		// allocation-free.
+		if quant {
+			vec.DotBatchQ8Range(&sc.qq, x.qkeys, 0, n, scores)
+		} else {
+			vec.DotBatchRange(q, x.keys, 0, n, scores)
+		}
+		best := scores[0]
+		for _, s := range scores[1:] {
+			if s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	scan := func(lo, hi int) float32 {
+		if quant {
+			vec.DotBatchQ8Range(&sc.qq, x.qkeys, lo, hi, scores[lo:hi])
+		} else {
+			vec.DotBatchRange(q, x.keys, lo, hi, scores[lo:hi])
+		}
+		localBest := scores[lo]
+		for _, s := range scores[lo+1 : hi] {
+			if s > localBest {
+				localBest = s
+			}
+		}
+		return localBest
+	}
+	bests := make([]float32, x.workers)
+	var wg sync.WaitGroup
+	chunk := (n + x.workers - 1) / x.workers
+	for w := 0; w < x.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			bests[w] = scores[0] // placeholder, overwritten below if empty
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			bests[w] = scan(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := bests[0]
+	for _, b := range bests[1:] {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// rerankBand turns a quantized score sweep into the exact fp32 DIPR band:
+// collect ids within the widened threshold, rescore them with exact dots,
+// and keep the exact band of the reranked maximum.
+func (x Index) rerankBand(sc *Scratch, q []float32, beta float32, n int, scores []float32, bestQ float32) ([]index.Candidate, float32) {
+	eps := x.qkeys.DotErrBound(&sc.qq)
+	widened := bestQ - beta - 2*eps
+	ids := sc.ids[:0]
+	for i := 0; i < n; i++ {
+		if scores[i] >= widened {
+			ids = append(ids, i)
+		}
+	}
+	sc.ids = ids
+	if len(ids) == 0 {
+		// Only reachable with a degenerate β (NaN, or negative beyond 2ε):
+		// for any β ≥ 0 the quantized argmax satisfies the widened
+		// threshold. Mirror the fp32 path's empty band instead of indexing
+		// into nothing.
+		sc.Reranked = 0
+		return nil, bestQ
+	}
+	if cap(sc.exact) < len(ids) {
+		sc.exact = make([]float32, len(ids))
+	}
+	exact := sc.exact[:len(ids)]
+	vec.DotGather(q, x.keys, ids, exact)
+	best := exact[0] // the band always holds the quantized argmax
+	for _, s := range exact[1:] {
+		if s > best {
+			best = s
+		}
+	}
+	threshold := best - beta
+	h := sc.heap[:0]
+	for j, i := range ids {
+		if exact[j] >= threshold {
+			h.PushValue(index.Candidate{ID: int32(i), Score: exact[j]})
+		}
+	}
+	sc.heap = h[:0]
+	sc.out = h.SortedInto(sc.out)
+	sc.Reranked = len(ids)
 	return sc.out, best
 }
 

@@ -1,6 +1,7 @@
 package flat
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -267,5 +268,136 @@ func TestDIPRScratchZeroAllocWarm(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm scratch DIPR allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// snapKeys quantizes keys in place (snapping fp32 rows to the dequantized
+// plane, as kvcache.EnableQuantKeys does) and returns the shadow.
+func snapKeys(keys *vec.Matrix) *vec.QuantMatrix {
+	qm := vec.QuantizeMatrix(keys)
+	for i := 0; i < keys.Rows(); i++ {
+		qm.DequantizeRow(i, keys.Row(i))
+	}
+	return qm
+}
+
+// TestQuantDIPRMatchesFP32 is the flat-index half of the recall-parity
+// guarantee: over a snapped key plane, the quantized scan with widened β
+// plus fp32 rerank returns candidates identical to the fp32 scan — ids,
+// scores, order, and best.
+func TestQuantDIPRMatchesFP32(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, workers := range []int{1, 4} {
+		for _, n := range []int{1, 50, 700, 5000} {
+			keys := randomKeys(rng, n, 16)
+			qm := snapKeys(keys)
+			fp := Make(keys, workers)
+			qx := MakeQuant(keys, qm, workers)
+			var fsc, qsc Scratch
+			for trial := 0; trial < 4; trial++ {
+				q := make([]float32, 16)
+				for j := range q {
+					q[j] = rng.Float32()*2 - 1
+				}
+				beta := float32(trial) * 0.4
+				want, wantBest := fp.DIPRFilteredScratch(&fsc, q, beta, n)
+				got, gotBest := qx.DIPRFilteredScratch(&qsc, q, beta, n)
+				if gotBest != wantBest {
+					t.Fatalf("workers=%d n=%d trial %d: best %v vs %v", workers, n, trial, gotBest, wantBest)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d n=%d trial %d: %d vs %d candidates", workers, n, trial, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d n=%d trial %d rank %d: %v vs %v", workers, n, trial, i, got[i], want[i])
+					}
+				}
+				if qsc.Reranked < len(want) {
+					t.Fatalf("reranked %d < band size %d: widened band cannot be smaller than the exact band",
+						qsc.Reranked, len(want))
+				}
+				if fsc.Reranked != 0 {
+					t.Fatalf("fp32 scan reported %d reranked rows", fsc.Reranked)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantDIPRScratchZeroAllocWarm extends the zero-alloc guard to the
+// quantized scan + rerank path.
+func TestQuantDIPRScratchZeroAllocWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	keys := randomKeys(rng, 2048, 16)
+	qm := snapKeys(keys)
+	x := MakeQuant(keys, qm, 1)
+	q := make([]float32, 16)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	var sc Scratch
+	x.DIPRFilteredScratch(&sc, q, 2, 2048) // warm the arena
+	allocs := testing.AllocsPerRun(20, func() {
+		x.DIPRFilteredScratch(&sc, q, 2, 2048)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm quantized DIPR allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestTopKScratchMatchesAndZeroAlloc is the satellite guard: the scratch
+// top-k scan matches the allocating form and a warm serial scan allocates
+// nothing.
+func TestTopKScratchMatchesAndZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := randomKeys(rng, 3000, 16)
+	x := Make(keys, 1)
+	q := make([]float32, 16)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	var sc Scratch
+	for _, k := range []int{1, 17, 64} {
+		want := naiveTopK(q, keys, k)
+		got := x.TopKScratch(&sc, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d vs %d candidates", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Score != want[i].Score {
+				t.Fatalf("k=%d rank %d: %v vs %v", k, i, got[i], want[i])
+			}
+		}
+	}
+	x.TopKScratch(&sc, q, 64) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		x.TopKScratch(&sc, q, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm TopKScratch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestQuantDIPRDegenerateBetaNoPanic pins the empty-widened-band guard: a
+// degenerate β reachable only through the public API (NaN, or negative
+// beyond the widening) returns an empty band like the fp32 path instead of
+// panicking in the rerank.
+func TestQuantDIPRDegenerateBetaNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	keys := randomKeys(rng, 100, 8)
+	qm := snapKeys(keys)
+	x := MakeQuant(keys, qm, 1)
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	var sc Scratch
+	nan := float32(math.NaN())
+	if got, _ := x.DIPRFilteredScratch(&sc, q, nan, 100); len(got) != 0 {
+		t.Fatalf("NaN beta returned %d candidates", len(got))
+	}
+	if got, _ := x.DIPRFilteredScratch(&sc, q, -1e6, 100); len(got) != 0 {
+		t.Fatalf("large negative beta returned %d candidates", len(got))
 	}
 }

@@ -148,3 +148,107 @@ func TestRowSpanAccessors(t *testing.T) {
 		t.Fatalf("empty span length %d", got)
 	}
 }
+
+func quantCache(t *testing.T) *Cache {
+	t.Helper()
+	c := New(2, 2, 8)
+	for i := 0; i < 6; i++ {
+		f := float32(i) + 0.37
+		row := []float32{f, -f, f * 2, -f * 3, f / 2, f, -f, f * 1.5}
+		c.AppendAll(0, [][]float32{row, row}, [][]float32{row, row})
+	}
+	c.EnableQuantKeys()
+	return c
+}
+
+// TestEnableQuantKeysSnapsPlane checks the central invariant of the SQ8
+// plane: after enabling, every fp32 key row equals the dequantized shadow
+// row exactly, for pre-existing rows and for rows appended afterwards.
+func TestEnableQuantKeysSnapsPlane(t *testing.T) {
+	c := quantCache(t)
+	row := []float32{9.1, -3.3, 0.04, 7, -2, 1, 0, 5}
+	c.AppendAll(0, [][]float32{row, row}, [][]float32{row, row})
+	buf := make([]float32, c.HeadDim())
+	for h := 0; h < c.KVHeads(); h++ {
+		qm := c.QuantKeys(0, h)
+		if qm == nil || qm.Rows() != c.SeqLen(0) {
+			t.Fatalf("head %d: shadow has %v rows, cache %d", h, qm, c.SeqLen(0))
+		}
+		for r := 0; r < qm.Rows(); r++ {
+			qm.DequantizeRow(r, buf)
+			for j, want := range buf {
+				if got := c.Keys(0, h).Row(r)[j]; got != want {
+					t.Fatalf("head %d row %d dim %d: fp32 %v != dequant %v", h, r, j, got, want)
+				}
+			}
+		}
+	}
+	// Values are never quantized: the appended value row survives verbatim.
+	if c.Values(0, 0).Row(6)[0] != 9.1 {
+		t.Fatal("value row was mutated by the quantized plane")
+	}
+}
+
+// TestQuantDisabledByDefault pins the fp32-only default: no shadow, nil
+// accessor, bitwise-untouched keys.
+func TestQuantDisabledByDefault(t *testing.T) {
+	c := mk(t)
+	k := []float32{1.1, 2.2, 3.3, 4.4}
+	c.Append(0, 0, k, k)
+	if c.QuantEnabled() || c.QuantKeys(0, 0) != nil {
+		t.Fatal("quantized plane enabled without EnableQuantKeys")
+	}
+	if got := c.Keys(0, 0).Row(0)[0]; got != 1.1 {
+		t.Fatalf("fp32 key snapped without quant: %v", got)
+	}
+}
+
+// TestBytesSplit covers the key/value/quant footprint split.
+func TestBytesSplit(t *testing.T) {
+	c := quantCache(t)
+	b := c.BytesSplit()
+	if b.Keys == 0 || b.Values == 0 || b.QuantKeys == 0 {
+		t.Fatalf("split has zero plane: %+v", b)
+	}
+	if b.Keys != b.Values {
+		t.Fatalf("key and value planes should match in this fixture: %+v", b)
+	}
+	if b.QuantKeys >= b.Keys {
+		t.Fatalf("quant plane (%d) not smaller than fp32 keys (%d)", b.QuantKeys, b.Keys)
+	}
+	if c.Bytes() != b.Total() {
+		t.Fatalf("Bytes() %d != split total %d", c.Bytes(), b.Total())
+	}
+}
+
+// TestQuantCloneTruncateAppendQuantized covers the maintenance paths with
+// the shadow plane on.
+func TestQuantCloneTruncateAppendQuantized(t *testing.T) {
+	c := quantCache(t)
+	d := c.Clone()
+	if !d.QuantEnabled() {
+		t.Fatal("clone lost the quantized plane")
+	}
+	d.Truncate(3)
+	if d.QuantKeys(0, 0).Rows() != 3 || d.Keys(0, 0).Rows() != 3 {
+		t.Fatalf("truncate left %d quant / %d fp32 rows", d.QuantKeys(0, 0).Rows(), d.Keys(0, 0).Rows())
+	}
+	if c.QuantKeys(0, 0).Rows() != 6 {
+		t.Fatal("truncating the clone affected the original")
+	}
+
+	// AppendQuantized reproduces a row bit-exactly from codes + scale.
+	src := c.QuantKeys(0, 0)
+	e := New(1, 1, 8)
+	e.EnableQuantKeys()
+	val := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	e.AppendQuantized(0, 0, src.RowCodes(2), src.Scale(2), val)
+	for j := range val {
+		if e.Keys(0, 0).Row(0)[j] != c.Keys(0, 0).Row(2)[j] {
+			t.Fatalf("dim %d: reloaded key %v != source %v", j, e.Keys(0, 0).Row(0)[j], c.Keys(0, 0).Row(2)[j])
+		}
+	}
+	if e.SeqLen(0) != 1 || e.Values(0, 0).Row(0)[7] != 8 {
+		t.Fatal("AppendQuantized mis-stored the value row")
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import "sync/atomic"
+
+// QuantCounters measures the SQ8 quantized read path: how many DIPR
+// retrievals ran on the quantized plane versus fp32, and how many band
+// candidates the quantized searches reranked with exact fp32 dots — the
+// rerank volume is the price paid for absorbing quantization error into
+// the widened β, and watching it catch regressions where a mis-sized error
+// bound balloons the band. The counters are atomics, not a mutex: they are
+// bumped once per head per decode token from workers fanned across the
+// pool, and a shared lock there would reintroduce exactly the global
+// serialization the sharded serving path removed. Safe for concurrent use;
+// the zero value is ready.
+type QuantCounters struct {
+	fp32Searches  atomic.Int64
+	quantSearches atomic.Int64
+	rerankedRows  atomic.Int64
+}
+
+// QuantSnapshot is a point-in-time copy of the counters.
+type QuantSnapshot struct {
+	// FP32Searches counts DIPR retrievals scored on the fp32 plane.
+	FP32Searches int64
+	// QuantSearches counts DIPR retrievals scored on the SQ8 plane.
+	QuantSearches int64
+	// RerankedRows is the total band candidates rescored in fp32 across
+	// all quantized searches.
+	RerankedRows int64
+}
+
+// RerankPerSearch returns the mean rerank volume of a quantized search, or
+// 0 with none recorded.
+func (s QuantSnapshot) RerankPerSearch() float64 {
+	if s.QuantSearches == 0 {
+		return 0
+	}
+	return float64(s.RerankedRows) / float64(s.QuantSearches)
+}
+
+// RecordSearch counts one DIPR retrieval: quant says which plane scored
+// it, reranked how many band candidates were rescored in fp32 (0 for fp32
+// searches).
+func (c *QuantCounters) RecordSearch(quant bool, reranked int) {
+	if quant {
+		c.quantSearches.Add(1)
+		c.rerankedRows.Add(int64(reranked))
+	} else {
+		c.fp32Searches.Add(1)
+	}
+}
+
+// Snapshot returns a copy of the counters.
+func (c *QuantCounters) Snapshot() QuantSnapshot {
+	return QuantSnapshot{
+		FP32Searches:  c.fp32Searches.Load(),
+		QuantSearches: c.quantSearches.Load(),
+		RerankedRows:  c.rerankedRows.Load(),
+	}
+}

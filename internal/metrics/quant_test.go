@@ -1,0 +1,23 @@
+package metrics
+
+import "testing"
+
+func TestQuantCounters(t *testing.T) {
+	var c QuantCounters
+	if s := c.Snapshot(); s.FP32Searches != 0 || s.QuantSearches != 0 || s.RerankedRows != 0 {
+		t.Fatalf("zero value not zero: %+v", s)
+	}
+	if got := (QuantSnapshot{}).RerankPerSearch(); got != 0 {
+		t.Fatalf("RerankPerSearch of empty snapshot = %v", got)
+	}
+	c.RecordSearch(true, 12)
+	c.RecordSearch(true, 4)
+	c.RecordSearch(false, 0)
+	s := c.Snapshot()
+	if s.QuantSearches != 2 || s.FP32Searches != 1 || s.RerankedRows != 16 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.RerankPerSearch(); got != 8 {
+		t.Fatalf("RerankPerSearch = %v, want 8", got)
+	}
+}

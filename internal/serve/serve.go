@@ -164,6 +164,19 @@ type StatsResponse struct {
 	ReloadP95Millis  float64 `json:"reload_p95_ms,omitempty"`
 	SpillCacheHits   int64   `json:"spill_cache_hits,omitempty"`
 	SpillCacheMisses int64   `json:"spill_cache_misses,omitempty"`
+	// Stored KV footprint split by plane (always present): with the SQ8
+	// plane enabled the scoring traffic runs over KeyQuantBytes — about a
+	// quarter of KeyBytes — while KeyBytes is the fp32 mirror touched only
+	// by reranks and materialization.
+	KeyBytes      int64 `json:"key_bytes"`
+	ValueBytes    int64 `json:"value_bytes"`
+	KeyQuantBytes int64 `json:"key_quant_bytes,omitempty"`
+	// SQ8 read path (zero/absent when Config.QuantKeys is off).
+	QuantEnabled  bool    `json:"quant_enabled"`
+	QuantSearches int64   `json:"quant_searches,omitempty"`
+	FP32Searches  int64   `json:"fp32_searches,omitempty"`
+	RerankedRows  int64   `json:"reranked_rows,omitempty"`
+	RerankPerSrch float64 `json:"rerank_per_search,omitempty"`
 }
 
 // --- handlers ---
@@ -316,6 +329,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Evictions:    s.db.Evictions(),
 		DeviceUsedGB: devmem.GB(s.db.Device().Used()),
 		OpenSessions: s.reg.Len(),
+	}
+	kv := s.db.StoredKVBytes()
+	resp.KeyBytes = kv.Keys
+	resp.ValueBytes = kv.Values
+	resp.KeyQuantBytes = kv.QuantKeys
+	resp.QuantEnabled = s.db.QuantEnabled()
+	if qs := s.db.QuantStats(); resp.QuantEnabled || qs.FP32Searches > 0 {
+		resp.QuantSearches = qs.QuantSearches
+		resp.FP32Searches = qs.FP32Searches
+		resp.RerankedRows = qs.RerankedRows
+		resp.RerankPerSrch = qs.RerankPerSearch()
 	}
 	if ts := s.db.TierStats(); ts.Enabled {
 		resp.SpillEnabled = true

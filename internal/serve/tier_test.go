@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/attention"
 	"repro/internal/core"
+	"repro/internal/devmem"
 	"repro/internal/index/graph"
 	"repro/internal/model"
 )
@@ -15,6 +16,11 @@ import (
 // tierServer builds a server whose DB spills evictions: the resident store
 // fits roughly `budgetContexts` documents of `tokens` tokens.
 func tierServer(t *testing.T, tokens, budgetContexts int) (*httptest.Server, *model.Model) {
+	return tierServerQuant(t, tokens, budgetContexts, false)
+}
+
+// tierServerQuant is tierServer with the SQ8 key plane toggled.
+func tierServerQuant(t *testing.T, tokens, budgetContexts int, quant bool) (*httptest.Server, *model.Model) {
 	t.Helper()
 	cfg := model.Default()
 	cfg.Layers = 2
@@ -35,6 +41,7 @@ func tierServer(t *testing.T, tokens, budgetContexts int) (*httptest.Server, *mo
 		Workers:       2,
 		ContextBudget: budget,
 		SpillDir:      t.TempDir(),
+		QuantKeys:     quant,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +127,19 @@ func attnAll(t *testing.T, base string, m *model.Model, doc *model.Document, foc
 // document — served by a transparent reload — and assert every attention
 // output is bitwise identical to a server that never evicted.
 func TestServeEvictSpillReloadBitwiseIdentical(t *testing.T) {
+	testEvictSpillReloadBitwise(t, false)
+}
+
+// TestServeEvictSpillReloadBitwiseIdenticalQuant is the same guarantee
+// under the SQ8 key plane: spilled keys travel as packed codes + scales,
+// and the reloaded plane reproduces every attention output bit for bit
+// against a quant server that never evicted (both score the same snapped
+// plane; the codes round-trip exactly).
+func TestServeEvictSpillReloadBitwiseIdenticalQuant(t *testing.T) {
+	testEvictSpillReloadBitwise(t, true)
+}
+
+func testEvictSpillReloadBitwise(t *testing.T, quant bool) {
 	const tokens = 400
 	docA := model.NewFiller(500, tokens, 16, 32)
 	docA.Plant(200, 9, 3, 1)
@@ -129,7 +149,7 @@ func TestServeEvictSpillReloadBitwiseIdentical(t *testing.T) {
 
 	// Tiered server: budget fits one stored context, so storing B evicts
 	// A's context to the spill directory.
-	tiered, m := tierServer(t, tokens, 1)
+	tiered, m := tierServerQuant(t, tokens, 1, quant)
 	driveStoreAndClose(t, tiered.URL, wireA)
 	driveStoreAndClose(t, tiered.URL, wireB)
 
@@ -165,7 +185,7 @@ func TestServeEvictSpillReloadBitwiseIdentical(t *testing.T) {
 	gotDecode2 := attnAll(t, tieredBase, m, docA2, 9)
 
 	// Reference server: unlimited budget, nothing ever evicted.
-	ref, _ := tierServer(t, tokens, 0)
+	ref, _ := tierServerQuant(t, tokens, 0, quant)
 	driveStoreAndClose(t, ref.URL, wireA)
 	driveStoreAndClose(t, ref.URL, wireB)
 	if code := postJSON(t, ref.URL+"/v1/sessions", wireA, &created); code != http.StatusOK {
@@ -216,5 +236,84 @@ func compareAttention(t *testing.T, phase string, got, want []AttentionAllRespon
 				}
 			}
 		}
+	}
+}
+
+// TestServeQuantStats drives a quant server and checks /v1/stats exposes
+// the SQ8 observability fields: the key/value byte split with the quant
+// plane at about a quarter of the fp32 keys, and the rerank-volume
+// counters moving with traffic.
+func TestServeQuantStats(t *testing.T) {
+	const tokens = 400
+	doc := model.NewFiller(600, tokens, 16, 32)
+	doc.Plant(200, 9, 3, 1)
+	wire := DocumentWire{Seed: doc.Seed, Tokens: doc.Tokens}
+
+	// A device too small for the coarse block cache forces DIPR plans — the
+	// path the quant counters measure.
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(cfg.Layers) * int64(cfg.KVHeads) * int64(cfg.HeadDim) * 4 * 2
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        devmem.New(m.WeightsBytes() + 2*winBytes + 4096),
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       2,
+		QuantKeys:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		db.Close()
+	})
+	driveStoreAndClose(t, ts.URL, wire)
+
+	var created CreateSessionResponse
+	if code := postJSON(t, ts.URL+"/v1/sessions", wire, &created); code != http.StatusOK {
+		t.Fatalf("create: status %d", code)
+	}
+	if created.Reused != tokens {
+		t.Fatalf("reused = %d", created.Reused)
+	}
+	attnAll(t, ts.URL+"/v1/sessions/"+itoa(created.SessionID), m, doc, 9)
+
+	var stats StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !stats.QuantEnabled {
+		t.Fatal("quant_enabled not reported")
+	}
+	if stats.KeyBytes == 0 || stats.ValueBytes == 0 || stats.KeyQuantBytes == 0 {
+		t.Fatalf("byte split missing: %+v", stats)
+	}
+	if 3*stats.KeyQuantBytes >= stats.KeyBytes {
+		t.Fatalf("quant plane %d not under a third of fp32 keys %d", stats.KeyQuantBytes, stats.KeyBytes)
+	}
+	if stats.QuantSearches == 0 {
+		t.Fatalf("no quant searches recorded: %+v", stats)
+	}
+	if stats.RerankedRows == 0 || stats.RerankPerSrch <= 0 {
+		t.Fatalf("rerank volume not recorded: %+v", stats)
+	}
+	if stats.FP32Searches != 0 {
+		t.Fatalf("fp32 searches on a quant server: %+v", stats)
 	}
 }

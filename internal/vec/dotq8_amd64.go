@@ -1,0 +1,28 @@
+//go:build amd64
+
+package vec
+
+// dotQ8WSSE2 is the SSE2 inner loop (dotq8_amd64.s): 8 codes per step —
+// sign-extend int8→int16 (PUNPCKLBW+PSRAW), multiply-accumulate against the
+// widened query (PMADDWD), int32 lane sums. n must be a multiple of 8.
+//
+//go:noescape
+func dotQ8WSSE2(q *int16, k *int8, n int64) int32
+
+// dotQ8W computes the int32 inner product of an int16-widened query with an
+// int8 code row. SSE2 is part of the amd64 baseline, so no feature
+// detection is needed; the tail shorter than one 8-lane step runs scalar.
+// Integer accumulation is exact, making this bitwise identical to
+// dotQ8WGeneric.
+func dotQ8W(q []int16, k []int8) int32 {
+	n := len(k)
+	blk := n &^ 7
+	var s int32
+	if blk > 0 {
+		s = dotQ8WSSE2(&q[0], &k[0], int64(blk))
+	}
+	for i := blk; i < n; i++ {
+		s += int32(q[i]) * int32(k[i])
+	}
+	return s
+}

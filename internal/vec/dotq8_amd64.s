@@ -1,0 +1,56 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotQ8WSSE2(q *int16, k *int8, n int64) int32
+//
+// Requires n > 0 and n % 8 == 0 (the Go wrapper guarantees both). Two
+// independent accumulators hide the PMADDWL latency; integer adds are
+// exact, so lane order does not affect the result.
+TEXT ·dotQ8WSSE2(SB), NOSPLIT, $0-28
+	MOVQ q+0(FP), SI
+	MOVQ k+8(FP), DI
+	MOVQ n+16(FP), CX
+	PXOR X0, X0              // accumulator A
+	PXOR X5, X5              // accumulator B
+	MOVQ CX, DX
+	SHRQ $4, DX              // 16-code double steps
+	JZ   single
+
+double:
+	MOVOU (SI), X1           // 8 widened query words
+	MOVQ  (DI), X2           // 8 key codes
+	PUNPCKLBW X2, X2         // duplicate bytes into word lanes
+	PSRAW $8, X2             // arithmetic shift = sign extension
+	PMADDWL X1, X2           // 4 int32 pair sums
+	PADDD X2, X0
+	MOVOU 16(SI), X3
+	MOVQ  8(DI), X4
+	PUNPCKLBW X4, X4
+	PSRAW $8, X4
+	PMADDWL X3, X4
+	PADDD X4, X5
+	ADDQ $32, SI
+	ADDQ $16, DI
+	DECQ DX
+	JNZ  double
+
+single:
+	ANDQ $15, CX
+	JZ   sum                 // no odd 8-code step left
+	MOVOU (SI), X1
+	MOVQ  (DI), X2
+	PUNPCKLBW X2, X2
+	PSRAW $8, X2
+	PMADDWL X1, X2
+	PADDD X2, X0
+
+sum:
+	PADDD X5, X0
+	PSHUFD $0xEE, X0, X1     // high qword lanes
+	PADDD X1, X0
+	PSHUFD $0x55, X0, X1     // lane 1
+	PADDD X1, X0
+	MOVD X0, AX
+	MOVL AX, ret+24(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vec
+
+// dotQ8W computes the int32 inner product of an int16-widened query with an
+// int8 code row. The amd64 build replaces this with an SSE2 kernel
+// (dotq8_amd64.s); integer accumulation is exact, so the two are bitwise
+// identical.
+func dotQ8W(q []int16, k []int8) int32 {
+	return dotQ8WGeneric(q, k)
+}
