@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc, tiered, or quant: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, or serving: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -83,8 +83,14 @@ func main() {
 				bench.WriteQuantTable(d, os.Stdout)
 				data = d
 			}
+		case "serving":
+			var d *bench.ServingReportData
+			if d, err = bench.ServingReport(scale); err == nil {
+				bench.WriteServingTable(d, os.Stdout)
+				data = d
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, or quant")
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, or serving")
 			os.Exit(2)
 		}
 		if err != nil {

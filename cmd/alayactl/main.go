@@ -1,12 +1,15 @@
-// Command alayactl inspects AlayaDB's on-disk artefacts: vector files
-// (the vfs block format of §7.3), persisted context directories, and the
-// spill tier written by a DB running with -spill-dir.
+// Command alayactl inspects AlayaDB deployments: on-disk artefacts —
+// vector files (the vfs block format of §7.3), persisted context
+// directories, the spill tier written by a DB running with -spill-dir —
+// and live daemons over the v2 API through the Go SDK.
 //
 // Usage:
 //
 //	alayactl stat <file.keys|file.vals>     print one vector file's stats
 //	alayactl verify <context-dir>           check a saved context's integrity
 //	alayactl spill <spill-dir>              list the spill tier's contexts
+//	alayactl health <base-url>              probe a daemon's /v1/healthz
+//	alayactl stats <base-url>               print a daemon's /v1/stats
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/storage/vfs"
+	"repro/pkg/alayaclient"
 )
 
 func main() {
@@ -30,6 +34,10 @@ func main() {
 		err = verify(os.Args[2])
 	case "spill":
 		err = spill(os.Args[2])
+	case "health":
+		err = health(os.Args[2])
+	case "stats":
+		err = stats(os.Args[2])
 	default:
 		usage()
 	}
@@ -40,8 +48,60 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: alayactl stat <vector-file> | alayactl verify <context-dir> | alayactl spill <spill-dir>")
+	fmt.Fprintln(os.Stderr, `usage: alayactl <command> <target>
+  stat   <vector-file>   print one vector file's stats
+  verify <context-dir>   check a saved context's integrity
+  spill  <spill-dir>     list the spill tier's contexts
+  health <base-url>      probe a daemon's /v1/healthz
+  stats  <base-url>      print a daemon's /v1/stats`)
 	os.Exit(2)
+}
+
+// health probes a live daemon through the SDK.
+func health(baseURL string) error {
+	hz, err := alayaclient.New(baseURL).Healthz()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status:        %s\n", hz.Status)
+	fmt.Printf("open sessions: %d\n", hz.OpenSessions)
+	return nil
+}
+
+// stats dumps a live daemon's statistics — DB, tiers, quant plane and the
+// per-endpoint counters of the serving API.
+func stats(baseURL string) error {
+	st, err := alayaclient.New(baseURL).Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("contexts:       %d (%d bytes, %d evictions)\n", st.Contexts, st.StoredBytes, st.Evictions)
+	fmt.Printf("open sessions:  %d\n", st.OpenSessions)
+	fmt.Printf("device used:    %.3f GB\n", st.DeviceUsedGB)
+	fmt.Printf("kv bytes:       keys %d, values %d", st.KeyBytes, st.ValueBytes)
+	if st.KeyQuantBytes > 0 {
+		fmt.Printf(", sq8 keys %d", st.KeyQuantBytes)
+	}
+	fmt.Println()
+	if st.QuantEnabled {
+		fmt.Printf("quant plane:    %d quant / %d fp32 searches, %.1f reranks/search\n",
+			st.QuantSearches, st.FP32Searches, st.RerankPerSrch)
+	}
+	if st.SpillEnabled {
+		fmt.Printf("spill tier:     %d contexts, %d bytes, %d spills, %d/%d reload hit/miss\n",
+			st.SpilledContexts, st.SpilledBytes, st.Spills, st.ReloadHits, st.ReloadMisses)
+	}
+	if len(st.Endpoints) > 0 {
+		fmt.Printf("\n%-16s %9s %7s %10s %10s\n", "endpoint", "requests", "errors", "mean ms", "max ms")
+		for _, ep := range st.Endpoints {
+			fmt.Printf("%-16s %9d %7d %10.3f %10.3f\n",
+				ep.Endpoint, ep.Requests, ep.Errors, ep.MeanMillis, ep.MaxMillis)
+		}
+	}
+	if st.EncodeErrors > 0 {
+		fmt.Printf("\nencode errors:  %d\n", st.EncodeErrors)
+	}
+	return nil
 }
 
 // spill lists a DB spill directory: one line per catalogued context with

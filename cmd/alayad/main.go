@@ -5,13 +5,25 @@
 //
 //	alayad -addr :8265 -layers 4 -device-gb 0.2
 //
-// See internal/serve for the endpoint reference.
+// A v2 engine decodes one token per round trip through POST
+// /v1/sessions/{id}/step (binary or JSON body); the v1 per-layer surface
+// stays available. GET /v1/healthz answers load-balancer probes, and
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// in-flight requests finish, sessions are closed, then the process exits.
+// See internal/serve for the endpoint reference and pkg/alayaclient for
+// the Go SDK.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/attention"
 	"repro/internal/core"
@@ -23,18 +35,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8265", "listen address")
-		layers   = flag.Int("layers", 4, "model layers")
-		qheads   = flag.Int("qheads", 8, "query heads per layer")
-		kvheads  = flag.Int("kvheads", 2, "kv heads per layer")
-		deviceGB = flag.Float64("device-gb", 0, "device memory capacity in GB (0 = unlimited)")
-		budgetGB = flag.Float64("context-budget-gb", 0, "stored-context byte budget in GB (0 = unlimited)")
-		poolSize = flag.Int("pool-size", 0, "worker pool size for per-head/per-layer fan-out (0 = GOMAXPROCS)")
-		shards   = flag.Int("shards", serve.DefaultShards, "session registry shard count (rounded up to a power of two)")
-		spillDir = flag.String("spill-dir", "", "directory for the disk spill tier: evicted contexts are persisted there and transparently reloaded (empty = eviction drops contexts)")
-		spillGB  = flag.Float64("spill-budget-gb", 0, "spill tier byte budget in GB; LRU spilled contexts are deleted over it (0 = unlimited)")
-		spillMB  = flag.Float64("spill-cache-mb", 64, "buffer pool capacity in MB for spilled-context block reads")
-		quant    = flag.Bool("quant-keys", false, "maintain an SQ8 (int8) key plane: retrieval and host attention score quantized keys with fp32 rerank; spilled key files shrink 4x (spill dirs are layout-specific)")
+		addr      = flag.String("addr", ":8265", "listen address")
+		layers    = flag.Int("layers", 4, "model layers")
+		qheads    = flag.Int("qheads", 8, "query heads per layer")
+		kvheads   = flag.Int("kvheads", 2, "kv heads per layer")
+		deviceGB  = flag.Float64("device-gb", 0, "device memory capacity in GB (0 = unlimited)")
+		budgetGB  = flag.Float64("context-budget-gb", 0, "stored-context byte budget in GB (0 = unlimited)")
+		poolSize  = flag.Int("pool-size", 0, "worker pool size for per-head/per-layer fan-out (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", serve.DefaultShards, "session registry shard count (rounded up to a power of two)")
+		maxBodyMB = flag.Float64("max-body-mb", float64(serve.DefaultMaxBodyBytes)/(1<<20), "request body size limit in MiB")
+		drainSecs = flag.Int("drain-secs", 15, "graceful shutdown deadline in seconds for in-flight requests")
+		spillDir  = flag.String("spill-dir", "", "directory for the disk spill tier: evicted contexts are persisted there and transparently reloaded (empty = eviction drops contexts)")
+		spillGB   = flag.Float64("spill-budget-gb", 0, "spill tier byte budget in GB; LRU spilled contexts are deleted over it (0 = unlimited)")
+		spillMB   = flag.Float64("spill-cache-mb", 64, "buffer pool capacity in MB for spilled-context block reads")
+		quant     = flag.Bool("quant-keys", false, "maintain an SQ8 (int8) key plane: retrieval and host attention score quantized keys with fp32 rerank; spilled key files shrink 4x (spill dirs are layout-specific)")
 	)
 	flag.Parse()
 
@@ -69,8 +83,9 @@ func main() {
 	}
 	defer db.Close()
 
-	srv := serve.NewServer(db, serve.WithShards(*shards))
-	defer srv.Close()
+	srv := serve.NewServer(db,
+		serve.WithShards(*shards),
+		serve.WithMaxBodyBytes(int64(*maxBodyMB*(1<<20))))
 	keyPlane := "fp32"
 	if *quant {
 		keyPlane = "sq8+fp32 rerank"
@@ -82,5 +97,31 @@ func main() {
 		log.Printf("alayad: spill tier at %s (budget %.2f GB, %d contexts recovered)",
 			ts.Dir, *spillGB, ts.SpilledContexts)
 	}
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish
+	// within the drain deadline, then close every session so the daemon is
+	// safe to cycle behind a load balancer.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		log.Fatalf("alayad: %v", err)
+	case <-sigCtx.Done():
+	}
+	stop()
+	log.Printf("alayad: shutting down (draining up to %ds)", *drainSecs)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("alayad: shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("alayad: closing sessions: %v", err)
+	}
+	log.Printf("alayad: drained")
 }

@@ -1,6 +1,8 @@
-// Quickstart: store a long context in AlayaDB, open a session that reuses
-// it, and answer a question through sparse attention — the Figure 4(b)
-// integration in miniature.
+// Quickstart: store a long context in AlayaDB, serve it over the v2
+// attention API, and decode an answer through the Go SDK — the Figure 4(b)
+// integration in miniature, but through the real wire: the "engine" below
+// talks to the DB only via pkg/alayaclient, one round trip per decoded
+// token, exactly as a decoupled deployment would.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,12 +10,15 @@ package main
 import (
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	"repro/internal/attention"
 	"repro/internal/core"
 	"repro/internal/devmem"
 	"repro/internal/model"
+	"repro/internal/serve"
 	"repro/internal/workload"
+	"repro/pkg/alayaclient"
 )
 
 func main() {
@@ -53,27 +58,59 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A new request over the same prompts reuses everything: no prefill.
-	sess, reused := db.CreateSession(inst.Doc)
-	defer sess.Close()
-	fmt.Printf("session reuses %d tokens (no prefill needed)\n", reused)
+	// Serve it. In production this is `alayad`; here the daemon runs
+	// in-process and the SDK connects over real HTTP.
+	srv := serve.NewServer(db)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	cli := alayaclient.New(ts.URL)
 
-	// One decode step: gather attention outputs from the retrieval heads
-	// and decode the answer payload.
+	// A new request over the same prompts reuses everything: no prefill.
+	sess, err := cli.CreateSession(inst.Doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	fmt.Printf("session reuses %d tokens (no prefill needed)\n", sess.Reused)
+
+	// One decode step, ONE round trip: ship the generated token plus every
+	// (layer, head) query; get every attention output back. On the wire it
+	// is an application/x-alaya-frame binary frame, not per-float JSON.
+	queries := make([][][]float32, cfg.Layers)
+	for l := range queries {
+		queries[l] = make([][]float32, cfg.QHeads)
+		for h := range queries[l] {
+			queries[l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+				FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
+		}
+	}
+	// The ingested token is the engine's previously generated one (here: a
+	// neutral continuation token, so the planted needle stays the signal).
+	step, err := sess.Step(inst.Doc.Tokens[inst.Doc.Len()-1], queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decode the answer from the retrieval heads' outputs.
 	var outputs []model.HeadOutput
 	for _, hr := range m.RetrievalHeads() {
-		q := m.QueryVector(inst.Doc, hr.Layer, hr.QHead, model.QuerySpec{
-			FocusTopics: inst.Question, ContextLen: inst.Doc.Len()})
-		res := sess.Attention(hr.Layer, hr.QHead, q)
-		outputs = append(outputs, model.HeadOutput{Layer: hr.Layer, QHead: hr.QHead, Output: res.Output})
+		outputs = append(outputs, model.HeadOutput{
+			Layer: hr.Layer, QHead: hr.QHead,
+			Output: step.Layers[hr.Layer][hr.QHead].Output,
+		})
 	}
 	answer := m.DecodeAnswer(outputs)
-
 	fmt.Printf("decoded answer: payload %d (want %d) — %v\n", answer, inst.Answer, answer == inst.Answer)
-	st := sess.Stats()
-	fmt.Printf("plans executed: %v\n", st.Plans)
-	fmt.Printf("critical tokens retrieved: %d across %d queries\n", st.Retrieved, st.Queries)
-	kv := db.StoredKVBytes()
-	fmt.Printf("key planes: %d fp32 bytes mirrored by %d SQ8 bytes (scoring traffic /%.1f incl. per-row scales); %d candidates fp32-reranked\n",
-		kv.Keys, kv.QuantKeys, float64(kv.Keys)/float64(max(kv.QuantKeys, 1)), st.Reranked)
+
+	// The stats endpoint shows what one v2 step cost the serving layer.
+	st, err := cli.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key planes: %d fp32 bytes mirrored by %d SQ8 bytes (scoring traffic /%.1f); %d candidates fp32-reranked\n",
+		st.KeyBytes, st.KeyQuantBytes, float64(st.KeyBytes)/float64(max(st.KeyQuantBytes, 1)), st.RerankedRows)
+	for _, ep := range st.Endpoints {
+		fmt.Printf("endpoint %-14s %d requests, mean %.2f ms\n", ep.Endpoint, ep.Requests, ep.MeanMillis)
+	}
 }

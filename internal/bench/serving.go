@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/serve"
+	"repro/internal/workload"
+	"repro/pkg/alayaclient"
+)
+
+func init() {
+	register("serving", "serving protocol cost: v1 JSON per-layer round trips vs v2 one-round-trip step over the binary tensor wire, tokens/sec through the SDK", runServing)
+}
+
+// ServingRow is one protocol configuration's measured decode throughput.
+type ServingRow struct {
+	// Name identifies the protocol: v1/json-per-layer, v2/json-step,
+	// v2/binary-step, v2/binary-steps8.
+	Name string `json:"name"`
+	// RoundTripsPerToken is the HTTP request count one decoded token costs.
+	RoundTripsPerToken float64 `json:"round_trips_per_token"`
+	// TokensPerSec is end-to-end decode throughput through the SDK over
+	// real HTTP (loopback), attention compute included.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+}
+
+// ServingReportData is the machine-readable artefact of the serving
+// experiment (written to BENCH_PR5.json by CI): what the wire protocol
+// costs per decoded token, v1 vs v2, JSON vs binary frames.
+type ServingReportData struct {
+	ContextLen   int          `json:"context_len"`
+	Layers       int          `json:"layers"`
+	QHeads       int          `json:"q_heads"`
+	DecodeTokens int          `json:"decode_tokens"`
+	Rows         []ServingRow `json:"rows"`
+	// SpeedupBinaryStepVsV1 is v2/binary-step over v1/json-per-layer
+	// decode throughput — the headline protocol win (target ≥3x at
+	// Layers=4, where v1 pays 5 JSON round trips per token).
+	SpeedupBinaryStepVsV1 float64 `json:"speedup_binary_step_vs_v1"`
+}
+
+// servingSession opens a fully reusing session through the SDK.
+func servingSession(cli *alayaclient.Client, doc *model.Document) (*alayaclient.Session, error) {
+	sess, err := cli.CreateSession(doc)
+	if err != nil {
+		return nil, err
+	}
+	if sess.Reused != doc.Len() {
+		sess.Close()
+		return nil, fmt.Errorf("serving: session reused %d of %d tokens", sess.Reused, doc.Len())
+	}
+	return sess, nil
+}
+
+// ServingReport measures decode tokens/sec for the v1 and v2 protocols
+// over a real HTTP loopback at scale s. Every mode decodes the same token
+// sequence with the same precomputed queries against its own session over
+// one shared stored context, so elapsed time isolates protocol cost:
+// round trips per token and codec cost per float.
+func ServingReport(s Scale) (*ServingReportData, error) {
+	s.Defaults()
+	m := model.New(s.Model)
+	mc := m.Config()
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(mc.Layers) * int64(mc.KVHeads) * int64(mc.HeadDim) * 4 * 2
+	// The device never fits the coarse block cache, so long queries plan
+	// DIPR — the retrieval path a serving deployment runs.
+	dev := devmem.New(m.WeightsBytes() + 8*winBytes + 4096)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        dev,
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers},
+		Workers:       s.Workers,
+		Pool:          pool.Default(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	if _, err := db.ImportDoc(inst.Doc); err != nil {
+		return nil, err
+	}
+
+	srv := serve.NewServer(db)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tokens := 8 * s.Trials
+	const batchSize = 8
+	if rem := tokens % batchSize; rem != 0 {
+		tokens += batchSize - rem // keep the batched mode comparable
+	}
+	tok := inst.Doc.Tokens[inst.Doc.Len()-1]
+	queries := make([][][][]float32, tokens)
+	for i := range queries {
+		queries[i] = make([][][]float32, mc.Layers)
+		for l := range queries[i] {
+			queries[i][l] = make([][]float32, mc.QHeads)
+			for h := range queries[i][l] {
+				queries[i][l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+					FocusTopics: inst.Question, Step: i, ContextLen: inst.Doc.Len()})
+			}
+		}
+	}
+
+	data := &ServingReportData{
+		ContextLen:   inst.Doc.Len(),
+		Layers:       mc.Layers,
+		QHeads:       mc.QHeads,
+		DecodeTokens: tokens,
+	}
+
+	// measure runs one protocol mode over a fresh session: warm once
+	// untimed (connection setup plus server-side arena pools), then decode
+	// every token through the timed loop.
+	measure := func(name string, rtPerToken float64, cli *alayaclient.Client,
+		warm, run func(sess *alayaclient.Session) error) error {
+		sess, err := servingSession(cli, inst.Doc)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		if err := warm(sess); err != nil {
+			return fmt.Errorf("serving: %s warm: %w", name, err)
+		}
+		start := time.Now()
+		if err := run(sess); err != nil {
+			return fmt.Errorf("serving: %s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		data.Rows = append(data.Rows, ServingRow{
+			Name:               name,
+			RoundTripsPerToken: rtPerToken,
+			TokensPerSec:       float64(tokens) / elapsed.Seconds(),
+		})
+		return nil
+	}
+
+	// Warm closures: one untimed decode step in each mode's own shape.
+	warmV1 := func(sess *alayaclient.Session) error {
+		if _, err := sess.Update(tok); err != nil {
+			return err
+		}
+		for l := 0; l < mc.Layers; l++ {
+			if _, err := sess.AttentionAll(l, queries[0][l]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	warmStep := func(sess *alayaclient.Session) error {
+		_, err := sess.Step(tok, queries[0])
+		return err
+	}
+
+	// v1: one update plus one attention_all per layer, all JSON — the
+	// protocol this PR retires from the decode hot path.
+	err = measure("v1/json-per-layer", float64(1+mc.Layers), alayaclient.New(ts.URL, alayaclient.WithJSON()), warmV1,
+		func(sess *alayaclient.Session) error {
+			for i := 0; i < tokens; i++ {
+				if _, err := sess.Update(tok); err != nil {
+					return err
+				}
+				for l := 0; l < mc.Layers; l++ {
+					if _, err := sess.AttentionAll(l, queries[i][l]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// v2 step over JSON: the round-trip saving alone.
+	err = measure("v2/json-step", 1, alayaclient.New(ts.URL, alayaclient.WithJSON()), warmStep,
+		func(sess *alayaclient.Session) error {
+			for i := 0; i < tokens; i++ {
+				if _, err := sess.Step(tok, queries[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// v2 step over the binary frame wire: round trips and codec both fixed.
+	err = measure("v2/binary-step", 1, alayaclient.New(ts.URL), warmStep,
+		func(sess *alayaclient.Session) error {
+			for i := 0; i < tokens; i++ {
+				if _, err := sess.Step(tok, queries[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// v2 batched steps: N tokens amortized per round trip (speculative /
+	// draft-token serving shape).
+	err = measure(fmt.Sprintf("v2/binary-steps%d", batchSize), 1.0/batchSize, alayaclient.New(ts.URL), warmStep,
+		func(sess *alayaclient.Session) error {
+			for i := 0; i < tokens; i += batchSize {
+				reqs := make([]alayaclient.StepRequest, batchSize)
+				for j := range reqs {
+					reqs[j] = alayaclient.StepRequest{Token: tok, Queries: queries[i+j]}
+				}
+				if _, err := sess.Steps(reqs); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	data.SpeedupBinaryStepVsV1 = data.Rows[2].TokensPerSec / data.Rows[0].TokensPerSec
+	return data, nil
+}
+
+// WriteServingTable renders the report as the experiment's textual
+// artefact.
+func WriteServingTable(data *ServingReportData, w io.Writer) {
+	fmt.Fprintf(w, "Serving protocol cost: context %d, %d layers x %d heads, %d decode tokens over HTTP loopback\n\n",
+		data.ContextLen, data.Layers, data.QHeads, data.DecodeTokens)
+	t := &table{header: []string{"protocol", "round trips/token", "tokens/sec"}}
+	for _, r := range data.Rows {
+		t.add(r.Name, fmt.Sprintf("%.3g", r.RoundTripsPerToken), fmt.Sprintf("%.1f", r.TokensPerSec))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nv2 binary step vs v1 JSON per-layer: %.2fx\n", data.SpeedupBinaryStepVsV1)
+	fmt.Fprintln(w, "expectation: >=3x at Layers=4 — v1 pays 1+Layers JSON round trips per token; v2 pays one binary frame")
+}
+
+// runServing is the experiment runner.
+func runServing(s Scale, w io.Writer) error {
+	data, err := ServingReport(s)
+	if err != nil {
+		return err
+	}
+	WriteServingTable(data, w)
+	return nil
+}

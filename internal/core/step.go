@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// This file is the batched decode-step entry point behind the v2 serving
+// API: one call ingests a generated token and computes attention for every
+// (layer, head) of the model, so a serving layer can answer a whole decode
+// step in a single round trip instead of one update plus one attention_all
+// per layer.
+
+// AttentionAllLayersInto computes attention for every query head of every
+// layer in one fan-out: qs and out are indexed [layer][head], every layer
+// must carry the same head count, and len(out[l]) must equal len(qs[l]).
+// The full layers×heads task set fans across the DB's worker pool with one
+// pooled decode state per worker — deeper layers' heads start as soon as a
+// worker frees up, rather than barriering layer by layer the way repeated
+// AttentionAllInto calls do. Buffer reuse and determinism follow
+// AttentionAllInto: bitwise-identical to the serial per-layer sweep on an
+// unconstrained device, with the same device-sampling caveat under a tight
+// budget.
+func (s *Session) AttentionAllLayersInto(qs [][][]float32, out [][]AttentionResult) {
+	if len(out) != len(qs) {
+		panic(fmt.Sprintf("core: AttentionAllLayersInto got %d result rows for %d layers", len(out), len(qs)))
+	}
+	if len(qs) == 0 {
+		return
+	}
+	heads := len(qs[0])
+	n := 0
+	for l := range qs {
+		if len(qs[l]) != heads {
+			panic(fmt.Sprintf("core: AttentionAllLayersInto layer %d has %d heads, layer 0 has %d", l, len(qs[l]), heads))
+		}
+		if len(out[l]) != len(qs[l]) {
+			panic(fmt.Sprintf("core: AttentionAllLayersInto layer %d got %d result slots for %d heads", l, len(out[l]), len(qs[l])))
+		}
+		n += len(qs[l])
+	}
+	if n == 0 {
+		return
+	}
+	p := s.db.cfg.Pool
+	if p.Size() == 0 || n == 1 {
+		ds := getDecodeState()
+		for l := range qs {
+			for h := range qs[l] {
+				s.attentionInto(ds, l, h, qs[l][h], &out[l][h])
+			}
+		}
+		putDecodeState(ds)
+		return
+	}
+	p.ForEachScratch(n, getDecodeStateAny, putDecodeStateAny,
+		func(sc interface{}, i int) {
+			l, h := i/heads, i%heads
+			s.attentionInto(sc.(*decodeState), l, h, qs[l][h], &out[l][h])
+		})
+}
+
+// StepInto is one whole decode step: ingest the generated token across all
+// layers (AppendToken), then compute attention for every layer and head
+// over the extended context, writing into out as AttentionAllLayersInto
+// does. It is exactly equivalent to AppendToken followed by one
+// AttentionAllInto per layer — the v1 protocol's 1+Layers round trips —
+// collapsed into a single call.
+func (s *Session) StepInto(tok model.Token, qs [][][]float32, out [][]AttentionResult) {
+	s.AppendToken(tok)
+	s.AttentionAllLayersInto(qs, out)
+}
+
+// Step is StepInto with freshly allocated results, indexed [layer][head].
+// Serving loops that reuse buffers call StepInto.
+func (s *Session) Step(tok model.Token, qs [][][]float32) [][]AttentionResult {
+	out := make([][]AttentionResult, len(qs))
+	for l := range qs {
+		out[l] = make([]AttentionResult, len(qs[l]))
+	}
+	s.StepInto(tok, qs, out)
+	return out
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEndpointCountersObserve(t *testing.T) {
+	var c EndpointCounters
+	c.Observe(EPStep, false, 2*time.Millisecond)
+	c.Observe(EPStep, true, 4*time.Millisecond)
+	c.Observe(EPStats, false, time.Millisecond)
+
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d endpoints, want 2: %+v", len(snap), snap)
+	}
+	step := snap[0]
+	if step.Endpoint != "step" || step.Requests != 2 || step.Errors != 1 {
+		t.Fatalf("step counters = %+v", step)
+	}
+	if step.MeanMillis < 2.9 || step.MeanMillis > 3.1 {
+		t.Fatalf("step mean = %v ms, want ~3", step.MeanMillis)
+	}
+	if step.MaxMillis < 3.9 || step.MaxMillis > 4.1 {
+		t.Fatalf("step max = %v ms, want ~4", step.MaxMillis)
+	}
+	if snap[1].Endpoint != "stats" || snap[1].Requests != 1 {
+		t.Fatalf("stats counters = %+v", snap[1])
+	}
+	if got := c.Requests(EPStep); got != 2 {
+		t.Fatalf("Requests(EPStep) = %d", got)
+	}
+
+	// Out-of-range endpoints are ignored, not panics.
+	c.Observe(Endpoint(-1), false, time.Millisecond)
+	c.Observe(numEndpoints, false, time.Millisecond)
+	if got := c.Requests(Endpoint(-1)); got != 0 {
+		t.Fatalf("Requests(-1) = %d", got)
+	}
+}
+
+func TestEndpointNames(t *testing.T) {
+	for _, e := range Endpoints() {
+		if e.String() == "" || e.String() == "unknown" {
+			t.Fatalf("endpoint %d has no name", e)
+		}
+	}
+	if Endpoint(-1).String() != "unknown" {
+		t.Fatalf("out-of-range name = %q", Endpoint(-1).String())
+	}
+}
+
+// TestEndpointCountersConcurrent hammers Observe from many goroutines; run
+// under -race this is the lock-freedom guarantee.
+func TestEndpointCountersConcurrent(t *testing.T) {
+	var c EndpointCounters
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Observe(EPStep, i%7 == 0, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Requests(EPStep); got != workers*per {
+		t.Fatalf("requests = %d, want %d", got, workers*per)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].MaxMillis <= 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

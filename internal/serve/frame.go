@@ -1,0 +1,555 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// The binary tensor wire: `application/x-alaya-frame`.
+//
+// The tensor-heavy endpoints (attention, attention_all, step, steps) speak
+// an alternative little-endian binary codec negotiated by Content-Type
+// (request bodies) and Accept (response bodies); JSON remains the default.
+// A frame is one length-delimited message:
+//
+//	offset  size  field
+//	0       4     magic "ALYF"
+//	4       1     version (1)
+//	5       1     kind (Frame* constants)
+//	6       2     reserved (0)
+//	8       4     payload length (bytes after this header)
+//	12      …     payload
+//
+// Payloads are packed little-endian with no padding. Scalars: u16/u32 are
+// unsigned ints, f32 is IEEE-754 bits (math.Float32bits — codecs never
+// reformat a float, which is what makes binary and JSON byte-identical in
+// value space). Strings are u16 length + UTF-8 bytes. Composite layouts:
+//
+//	token        := topic u32 | payload u32 | salience f32
+//	vec(d)       := d × f32
+//	attnReq      := layer u32 | qhead u32 | dim u32 | vec(dim)
+//	attnResp     := plan string | retrieved u32 | attended u32 | dim u32 | vec(dim)
+//	attnAllReq   := layer u32 | heads u32 | dim u32 | heads × vec(dim)
+//	attnAllResp  := heads u32 | heads × attnResp
+//	stepReq      := token | layers u32 | heads u32 | dim u32 | layers × heads × vec(dim)
+//	stepResp     := ctxlen u32 | layers u32 | layers × (heads u32 | heads × attnResp)
+//	stepsReq     := count u32 | count × stepReq
+//	stepsResp    := count u32 | count × stepResp
+//
+// Geometry fields are authoritative: decoders allocate from them only
+// after checking they fit in the remaining payload, so a crafted frame
+// cannot force a huge allocation from a tiny body.
+
+// FrameContentType is the negotiated media type of the binary tensor wire.
+const FrameContentType = "application/x-alaya-frame"
+
+// FrameVersion is the wire version this codec speaks.
+const FrameVersion = 1
+
+const frameMagic = "ALYF"
+
+// Frame kinds.
+const (
+	FrameAttentionRequest byte = iota + 1
+	FrameAttentionResponse
+	FrameAttentionAllRequest
+	FrameAttentionAllResponse
+	FrameStepRequest
+	FrameStepResponse
+	FrameStepsRequest
+	FrameStepsResponse
+)
+
+const frameHeaderLen = 12
+
+// frameBufPool recycles encode buffers so the binary hot path allocates
+// only the returned frame (and nothing when the caller round-trips the
+// slice back through putFrameBuf).
+var frameBufPool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 4096); return &b }}
+
+func getFrameBuf() []byte  { return (*frameBufPool.Get().(*[]byte))[:0] }
+func putFrameBuf(b []byte) { frameBufPool.Put(&b) }
+
+// MarshalFrame encodes one wire message as a binary frame. Supported
+// types: *AttentionRequest, *AttentionResponse, *AttentionAllRequest,
+// *AttentionAllResponse, *StepRequest, *StepResponse, *StepsRequest,
+// *StepsResponse. The returned slice is freshly allocated and owned by the
+// caller.
+func MarshalFrame(v interface{}) ([]byte, error) {
+	buf := getFrameBuf()
+	out, err := appendFrame(buf, v)
+	if err != nil {
+		putFrameBuf(buf)
+		return nil, err
+	}
+	cp := make([]byte, len(out))
+	copy(cp, out)
+	putFrameBuf(out) // recycle the grown buffer, not the stale original
+	return cp, nil
+}
+
+// appendFrame appends the full frame (header + payload) for v to buf.
+func appendFrame(buf []byte, v interface{}) ([]byte, error) {
+	var kind byte
+	start := len(buf)
+	buf = append(buf, frameMagic...)
+	buf = append(buf, FrameVersion, 0, 0, 0) // kind patched below, reserved
+	buf = append(buf, 0, 0, 0, 0)            // payload length patched below
+	switch m := v.(type) {
+	case *AttentionRequest:
+		kind = FrameAttentionRequest
+		buf = appendU32(buf, uint32(m.Layer))
+		buf = appendU32(buf, uint32(m.QHead))
+		buf = appendVec(buf, m.Query)
+	case *AttentionResponse:
+		kind = FrameAttentionResponse
+		buf = appendAttnResp(buf, m)
+	case *AttentionAllRequest:
+		kind = FrameAttentionAllRequest
+		var err error
+		if buf, err = appendAttnAllReq(buf, m); err != nil {
+			return nil, err
+		}
+	case *AttentionAllResponse:
+		kind = FrameAttentionAllResponse
+		buf = appendU32(buf, uint32(len(m.Heads)))
+		for h := range m.Heads {
+			buf = appendAttnResp(buf, &m.Heads[h])
+		}
+	case *StepRequest:
+		kind = FrameStepRequest
+		var err error
+		if buf, err = appendStepReq(buf, m); err != nil {
+			return nil, err
+		}
+	case *StepResponse:
+		kind = FrameStepResponse
+		buf = appendStepResp(buf, m)
+	case *StepsRequest:
+		kind = FrameStepsRequest
+		buf = appendU32(buf, uint32(len(m.Steps)))
+		for i := range m.Steps {
+			var err error
+			if buf, err = appendStepReq(buf, &m.Steps[i]); err != nil {
+				return nil, err
+			}
+		}
+	case *StepsResponse:
+		kind = FrameStepsResponse
+		buf = appendU32(buf, uint32(len(m.Steps)))
+		for i := range m.Steps {
+			buf = appendStepResp(buf, &m.Steps[i])
+		}
+	default:
+		return nil, fmt.Errorf("serve: no frame encoding for %T", v)
+	}
+	buf[start+5] = kind
+	binary.LittleEndian.PutUint32(buf[start+8:], uint32(len(buf)-start-frameHeaderLen))
+	return buf, nil
+}
+
+// UnmarshalFrame decodes a binary frame into v, which must be a pointer of
+// the same set of types MarshalFrame accepts and match the frame's kind.
+// Trailing bytes, truncation, geometry that does not fit the payload, and
+// version or kind mismatches are all errors.
+func UnmarshalFrame(data []byte, v interface{}) error {
+	if len(data) < frameHeaderLen {
+		return fmt.Errorf("serve: frame truncated: %d bytes", len(data))
+	}
+	if string(data[:4]) != frameMagic {
+		return fmt.Errorf("serve: bad frame magic %q", data[:4])
+	}
+	if data[4] != FrameVersion {
+		return fmt.Errorf("serve: unsupported frame version %d", data[4])
+	}
+	kind := data[5]
+	plen := binary.LittleEndian.Uint32(data[8:])
+	if uint64(plen) != uint64(len(data)-frameHeaderLen) {
+		return fmt.Errorf("serve: frame payload length %d, body holds %d", plen, len(data)-frameHeaderLen)
+	}
+	r := frameReader{buf: data[frameHeaderLen:]}
+	var want byte
+	switch m := v.(type) {
+	case *AttentionRequest:
+		want = FrameAttentionRequest
+		if kind == want {
+			m.Layer = int(r.u32())
+			m.QHead = int(r.u32())
+			m.Query = r.vec()
+		}
+	case *AttentionResponse:
+		want = FrameAttentionResponse
+		if kind == want {
+			r.attnResp(m)
+		}
+	case *AttentionAllRequest:
+		want = FrameAttentionAllRequest
+		if kind == want {
+			r.attnAllReq(m)
+		}
+	case *AttentionAllResponse:
+		want = FrameAttentionAllResponse
+		if kind == want {
+			n := r.count(attnRespMinLen)
+			m.Heads = make([]AttentionResponse, n)
+			for h := 0; h < n && r.err == nil; h++ {
+				r.attnResp(&m.Heads[h])
+			}
+		}
+	case *StepRequest:
+		want = FrameStepRequest
+		if kind == want {
+			r.stepReq(m)
+		}
+	case *StepResponse:
+		want = FrameStepResponse
+		if kind == want {
+			r.stepResp(m)
+		}
+	case *StepsRequest:
+		want = FrameStepsRequest
+		if kind == want {
+			n := r.count(stepReqMinLen)
+			m.Steps = make([]StepRequest, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				r.stepReq(&m.Steps[i])
+			}
+		}
+	case *StepsResponse:
+		want = FrameStepsResponse
+		if kind == want {
+			n := r.count(stepRespMinLen)
+			m.Steps = make([]StepResponse, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				r.stepResp(&m.Steps[i])
+			}
+		}
+	default:
+		return fmt.Errorf("serve: no frame decoding for %T", v)
+	}
+	if kind != want {
+		return fmt.Errorf("serve: frame kind %d, want %d for %T", kind, want, v)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes after frame payload", len(r.buf))
+	}
+	return nil
+}
+
+// --- encoding helpers ---
+
+func appendU16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v), byte(v>>8))
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendF32(buf []byte, v float32) []byte {
+	return appendU32(buf, math.Float32bits(v))
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendU16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// appendVec writes dim u32 then the raw IEEE-754 bits.
+func appendVec(buf []byte, v []float32) []byte {
+	buf = appendU32(buf, uint32(len(v)))
+	for _, f := range v {
+		buf = appendF32(buf, f)
+	}
+	return buf
+}
+
+func appendToken(buf []byte, t model.Token) []byte {
+	buf = appendU32(buf, uint32(t.Topic))
+	buf = appendU32(buf, uint32(t.Payload))
+	return appendF32(buf, t.Salience)
+}
+
+func appendAttnResp(buf []byte, m *AttentionResponse) []byte {
+	buf = appendString(buf, m.Plan)
+	buf = appendU32(buf, uint32(m.Retrieved))
+	buf = appendU32(buf, uint32(m.Attended))
+	return appendVec(buf, m.Output)
+}
+
+// uniformDims pins the geometry of a query grid: every row the same head
+// count, every query the same dimension. The binary layout depends on it.
+func uniformDims(qs [][]float32) (heads, dim int, err error) {
+	heads = len(qs)
+	for h, q := range qs {
+		if h == 0 {
+			dim = len(q)
+		} else if len(q) != dim {
+			return 0, 0, fmt.Errorf("serve: ragged query dims %d vs %d", len(q), dim)
+		}
+	}
+	return heads, dim, nil
+}
+
+func appendAttnAllReq(buf []byte, m *AttentionAllRequest) ([]byte, error) {
+	heads, dim, err := uniformDims(m.Queries)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendU32(buf, uint32(m.Layer))
+	buf = appendU32(buf, uint32(heads))
+	buf = appendU32(buf, uint32(dim))
+	for _, q := range m.Queries {
+		for _, f := range q {
+			buf = appendF32(buf, f)
+		}
+	}
+	return buf, nil
+}
+
+func appendStepReq(buf []byte, m *StepRequest) ([]byte, error) {
+	layers := len(m.Queries)
+	heads, dim := 0, 0
+	for l, row := range m.Queries {
+		h, d, err := uniformDims(row)
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 {
+			heads, dim = h, d
+		} else if h != heads || d != dim {
+			return nil, fmt.Errorf("serve: ragged step geometry: layer %d is %dx%d, layer 0 is %dx%d", l, h, d, heads, dim)
+		}
+	}
+	buf = appendToken(buf, m.Token)
+	buf = appendU32(buf, uint32(layers))
+	buf = appendU32(buf, uint32(heads))
+	buf = appendU32(buf, uint32(dim))
+	for _, row := range m.Queries {
+		for _, q := range row {
+			for _, f := range q {
+				buf = appendF32(buf, f)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendStepResp(buf []byte, m *StepResponse) []byte {
+	buf = appendU32(buf, uint32(m.ContextLen))
+	buf = appendU32(buf, uint32(len(m.Layers)))
+	for _, row := range m.Layers {
+		buf = appendU32(buf, uint32(len(row)))
+		for h := range row {
+			buf = appendAttnResp(buf, &row[h])
+		}
+	}
+	return buf
+}
+
+// --- decoding ---
+
+// Minimum encoded sizes, used to bound count fields before allocating.
+const (
+	attnRespMinLen = 2 + 4 + 4 + 4 // empty plan, empty output
+	stepReqMinLen  = 12 + 4 + 4 + 4
+	stepRespMinLen = 4 + 4
+)
+
+// frameReader consumes a payload with sticky errors: after the first
+// failure every read returns zero values and the error surfaces once at
+// the end.
+type frameReader struct {
+	buf []byte
+	err error
+}
+
+func (r *frameReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("serve: "+format, args...)
+		r.buf = nil
+	}
+}
+
+func (r *frameReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail("frame payload truncated: need %d bytes, have %d", n, len(r.buf))
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *frameReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *frameReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *frameReader) f32() float32 {
+	return math.Float32frombits(r.u32())
+}
+
+func (r *frameReader) str() string {
+	n := int(r.u16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a u32 element count and rejects values that could not fit in
+// the remaining payload at minLen bytes per element, so decode allocation
+// is always bounded by the actual body size.
+func (r *frameReader) count(minLen int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*minLen > len(r.buf) {
+		r.fail("frame count %d exceeds payload (%d bytes left)", n, len(r.buf))
+		return 0
+	}
+	return n
+}
+
+func (r *frameReader) vec() []float32 {
+	n := r.count(4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.f32()
+	}
+	return out
+}
+
+func (r *frameReader) token() model.Token {
+	return model.Token{
+		Topic:    int(int32(r.u32())),
+		Payload:  int(int32(r.u32())),
+		Salience: r.f32(),
+	}
+}
+
+func (r *frameReader) attnResp(m *AttentionResponse) {
+	m.Plan = r.str()
+	m.Retrieved = int(r.u32())
+	m.Attended = int(r.u32())
+	m.Output = r.vec()
+}
+
+// grid reads layers×heads×dim floats laid out row-major, returning
+// [layers][heads][]float32.
+func (r *frameReader) grid(layers, heads, dim int) [][][]float32 {
+	if r.err != nil {
+		return nil
+	}
+	// Bound each axis by the remaining payload before multiplying, so a
+	// crafted frame cannot overflow the total or force a huge allocation.
+	lim := len(r.buf)/4 + 1
+	if layers > lim || heads > lim || dim > lim {
+		r.fail("frame geometry %dx%dx%d exceeds payload (%d bytes left)", layers, heads, dim, len(r.buf))
+		return nil
+	}
+	// The lh bound holds even at dim == 0: every decoded vector slot must
+	// be paid for by payload bytes, or a zero-dim frame could demand
+	// billions of slice headers from a tiny body.
+	lh := layers * heads
+	if lh > lim {
+		r.fail("frame geometry %dx%dx%d exceeds payload (%d bytes left)", layers, heads, dim, len(r.buf))
+		return nil
+	}
+	total := lh * dim
+	if total*4 > len(r.buf) {
+		r.fail("frame geometry %dx%dx%d exceeds payload (%d bytes left)", layers, heads, dim, len(r.buf))
+		return nil
+	}
+	out := make([][][]float32, layers)
+	flat := make([]float32, total)
+	for i := range flat {
+		flat[i] = r.f32()
+	}
+	for l := 0; l < layers; l++ {
+		out[l] = make([][]float32, heads)
+		for h := 0; h < heads; h++ {
+			off := (l*heads + h) * dim
+			out[l][h] = flat[off : off+dim : off+dim]
+		}
+	}
+	return out
+}
+
+func (r *frameReader) attnAllReq(m *AttentionAllRequest) {
+	m.Layer = int(r.u32())
+	heads := int(r.u32())
+	dim := int(r.u32())
+	if r.err != nil {
+		return
+	}
+	if heads < 0 || dim < 0 {
+		r.fail("negative geometry %dx%d", heads, dim)
+		return
+	}
+	g := r.grid(1, heads, dim)
+	if r.err == nil {
+		m.Queries = g[0]
+	}
+}
+
+func (r *frameReader) stepReq(m *StepRequest) {
+	m.Token = r.token()
+	layers := int(r.u32())
+	heads := int(r.u32())
+	dim := int(r.u32())
+	if r.err != nil {
+		return
+	}
+	if layers < 0 || heads < 0 || dim < 0 {
+		r.fail("negative geometry %dx%dx%d", layers, heads, dim)
+		return
+	}
+	m.Queries = r.grid(layers, heads, dim)
+}
+
+func (r *frameReader) stepResp(m *StepResponse) {
+	m.ContextLen = int(r.u32())
+	layers := r.count(4)
+	if r.err != nil {
+		return
+	}
+	m.Layers = make([][]AttentionResponse, layers)
+	for l := 0; l < layers && r.err == nil; l++ {
+		heads := r.count(attnRespMinLen)
+		if r.err != nil {
+			return
+		}
+		m.Layers[l] = make([]AttentionResponse, heads)
+		for h := 0; h < heads && r.err == nil; h++ {
+			r.attnResp(&m.Layers[l][h])
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func sampleVec(n int, seed float32) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = seed + float32(i)*0.25
+	}
+	// Exercise non-trivial float bit patterns.
+	if n > 2 {
+		v[1] = float32(math.Pi)
+		v[2] = -0
+	}
+	return v
+}
+
+func sampleStepReq(layers, heads, dim int) *StepRequest {
+	qs := make([][][]float32, layers)
+	for l := range qs {
+		qs[l] = make([][]float32, heads)
+		for h := range qs[l] {
+			qs[l][h] = sampleVec(dim, float32(l*heads+h))
+		}
+	}
+	return &StepRequest{Token: model.Token{Topic: 7, Payload: 3, Salience: 1.5}, Queries: qs}
+}
+
+func sampleStepResp(layers, heads, dim int) *StepResponse {
+	resp := &StepResponse{ContextLen: 321, Layers: make([][]AttentionResponse, layers)}
+	for l := range resp.Layers {
+		resp.Layers[l] = make([]AttentionResponse, heads)
+		for h := range resp.Layers[l] {
+			resp.Layers[l][h] = AttentionResponse{
+				Output:    sampleVec(dim, float32(100+l*heads+h)),
+				Plan:      "full/fine",
+				Retrieved: 12,
+				Attended:  321,
+			}
+		}
+	}
+	return resp
+}
+
+// roundTrip marshals v, unmarshals into fresh, and compares.
+func roundTrip(t *testing.T, v, fresh interface{}) []byte {
+	t.Helper()
+	data, err := MarshalFrame(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	if err := UnmarshalFrame(data, fresh); err != nil {
+		t.Fatalf("unmarshal %T: %v", fresh, err)
+	}
+	return data
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	attnReq := &AttentionRequest{Layer: 2, QHead: 5, Query: sampleVec(16, 1)}
+	var gotAttnReq AttentionRequest
+	roundTrip(t, attnReq, &gotAttnReq)
+	if !reflect.DeepEqual(*attnReq, gotAttnReq) {
+		t.Fatalf("attention request: got %+v want %+v", gotAttnReq, *attnReq)
+	}
+
+	attnResp := &AttentionResponse{Output: sampleVec(8, 2), Plan: "dipr/fine[filtered]", Retrieved: 3, Attended: 99}
+	var gotAttnResp AttentionResponse
+	roundTrip(t, attnResp, &gotAttnResp)
+	if !reflect.DeepEqual(*attnResp, gotAttnResp) {
+		t.Fatalf("attention response: got %+v want %+v", gotAttnResp, *attnResp)
+	}
+
+	allReq := &AttentionAllRequest{Layer: 1, Queries: [][]float32{sampleVec(8, 3), sampleVec(8, 4)}}
+	var gotAllReq AttentionAllRequest
+	roundTrip(t, allReq, &gotAllReq)
+	if !reflect.DeepEqual(*allReq, gotAllReq) {
+		t.Fatalf("attention_all request: got %+v want %+v", gotAllReq, *allReq)
+	}
+
+	allResp := &AttentionAllResponse{Heads: sampleStepResp(1, 3, 8).Layers[0]}
+	var gotAllResp AttentionAllResponse
+	roundTrip(t, allResp, &gotAllResp)
+	if !reflect.DeepEqual(allResp.Heads, gotAllResp.Heads) {
+		t.Fatalf("attention_all response: got %+v want %+v", gotAllResp.Heads, allResp.Heads)
+	}
+
+	stepReq := sampleStepReq(3, 2, 8)
+	var gotStepReq StepRequest
+	roundTrip(t, stepReq, &gotStepReq)
+	if !reflect.DeepEqual(*stepReq, gotStepReq) {
+		t.Fatalf("step request: got %+v want %+v", gotStepReq, *stepReq)
+	}
+
+	stepResp := sampleStepResp(2, 3, 8)
+	var gotStepResp StepResponse
+	roundTrip(t, stepResp, &gotStepResp)
+	if stepResp.ContextLen != gotStepResp.ContextLen || !reflect.DeepEqual(stepResp.Layers, gotStepResp.Layers) {
+		t.Fatalf("step response: got %+v want %+v", gotStepResp, *stepResp)
+	}
+
+	stepsReq := &StepsRequest{Steps: []StepRequest{*sampleStepReq(2, 2, 4), *sampleStepReq(2, 2, 4)}}
+	var gotStepsReq StepsRequest
+	roundTrip(t, stepsReq, &gotStepsReq)
+	if !reflect.DeepEqual(*stepsReq, gotStepsReq) {
+		t.Fatalf("steps request: got %+v want %+v", gotStepsReq, *stepsReq)
+	}
+
+	stepsResp := &StepsResponse{Steps: []StepResponse{*sampleStepResp(1, 2, 4), *sampleStepResp(1, 2, 4)}}
+	var gotStepsResp StepsResponse
+	roundTrip(t, stepsResp, &gotStepsResp)
+	if len(gotStepsResp.Steps) != 2 || !reflect.DeepEqual(stepsResp.Steps[1].Layers, gotStepsResp.Steps[1].Layers) {
+		t.Fatalf("steps response: got %+v want %+v", gotStepsResp, *stepsResp)
+	}
+}
+
+// TestFrameFloatBits pins the IEEE-754 bit preservation the codec's
+// identity guarantee rests on: every special value crosses the wire with
+// its exact bits.
+func TestFrameFloatBits(t *testing.T) {
+	specials := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		float32(math.Inf(1)), float32(math.Inf(-1)),
+		math.MaxFloat32, math.SmallestNonzeroFloat32,
+		float32(math.NaN()),
+	}
+	req := &AttentionRequest{Layer: 0, QHead: 0, Query: specials}
+	var got AttentionRequest
+	roundTrip(t, req, &got)
+	for i := range specials {
+		if math.Float32bits(specials[i]) != math.Float32bits(got.Query[i]) {
+			t.Fatalf("float %d: bits %08x -> %08x", i,
+				math.Float32bits(specials[i]), math.Float32bits(got.Query[i]))
+		}
+	}
+}
+
+func TestFrameHeaderValidation(t *testing.T) {
+	good, err := MarshalFrame(&AttentionRequest{Layer: 1, QHead: 1, Query: sampleVec(4, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req AttentionRequest
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"short header", good[:8], "truncated"},
+		{"bad magic", append([]byte("NOPE"), good[4:]...), "magic"},
+		{"bad version", func() []byte { d := bytes.Clone(good); d[4] = 9; return d }(), "version"},
+		{"bad kind", func() []byte { d := bytes.Clone(good); d[5] = FrameStepResponse; return d }(), "kind"},
+		{"truncated payload", good[:len(good)-3], "payload length"},
+		{"trailing byte outside payload", func() []byte {
+			d := bytes.Clone(good)
+			d = append(d, 0xAA)
+			return d
+		}(), "payload length"},
+		{"trailing byte inside payload", func() []byte {
+			d := bytes.Clone(good)
+			d = append(d, 0xAA)
+			binary.LittleEndian.PutUint32(d[8:], uint32(len(d)-frameHeaderLen))
+			return d
+		}(), "trailing"},
+	}
+	for _, tc := range cases {
+		if err := UnmarshalFrame(tc.data, &req); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Unsupported types are rejected on both sides.
+	if _, err := MarshalFrame(&StatsResponse{}); err == nil {
+		t.Error("marshal of unframeable type succeeded")
+	}
+	var stats StatsResponse
+	if err := UnmarshalFrame(good, &stats); err == nil {
+		t.Error("unmarshal into unframeable type succeeded")
+	}
+}
+
+// TestFrameCraftedGeometry feeds frames whose counts and geometry claim
+// far more data than the body holds; decoders must fail cleanly instead of
+// over-allocating or panicking.
+func TestFrameCraftedGeometry(t *testing.T) {
+	// A step request claiming 1e9 layers in a tiny body.
+	crafted := []byte(frameMagic)
+	crafted = append(crafted, FrameVersion, FrameStepRequest, 0, 0)
+	payload := appendToken(nil, model.Token{})
+	payload = appendU32(payload, 1_000_000_000) // layers
+	payload = appendU32(payload, 1_000_000_000) // heads
+	payload = appendU32(payload, 1_000_000_000) // dim
+	crafted = appendU32(crafted, uint32(len(payload)))
+	crafted = append(crafted, payload...)
+	var step StepRequest
+	if err := UnmarshalFrame(crafted, &step); err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("crafted geometry: err = %v", err)
+	}
+
+	// Zero dim with a huge layers×heads product: no float payload is
+	// claimed, but decoding would still demand billions of slice headers.
+	crafted = []byte(frameMagic)
+	crafted = append(crafted, FrameVersion, FrameStepRequest, 0, 0)
+	payload = appendToken(nil, model.Token{})
+	payload = appendU32(payload, 16_000_000) // layers
+	payload = appendU32(payload, 16_000_000) // heads
+	payload = appendU32(payload, 0)          // dim
+	crafted = appendU32(crafted, uint32(len(payload)))
+	crafted = append(crafted, payload...)
+	var zeroDim StepRequest
+	if err := UnmarshalFrame(crafted, &zeroDim); err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("zero-dim crafted geometry: err = %v", err)
+	}
+
+	// A steps request claiming a huge step count.
+	crafted = []byte(frameMagic)
+	crafted = append(crafted, FrameVersion, FrameStepsRequest, 0, 0)
+	payload = appendU32(nil, 4_000_000_000)
+	crafted = appendU32(crafted, uint32(len(payload)))
+	crafted = append(crafted, payload...)
+	var steps StepsRequest
+	if err := UnmarshalFrame(crafted, &steps); err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("crafted count: err = %v", err)
+	}
+
+	// A vector length past the payload end.
+	crafted = []byte(frameMagic)
+	crafted = append(crafted, FrameVersion, FrameAttentionRequest, 0, 0)
+	payload = appendU32(nil, 0)
+	payload = appendU32(payload, 0)
+	payload = appendU32(payload, 500) // dim with no floats behind it
+	crafted = appendU32(crafted, uint32(len(payload)))
+	crafted = append(crafted, payload...)
+	var attn AttentionRequest
+	if err := UnmarshalFrame(crafted, &attn); err == nil {
+		t.Fatal("oversized vector accepted")
+	}
+}
+
+// TestFrameRaggedGeometry: encoders refuse query grids the fixed-geometry
+// layout cannot represent.
+func TestFrameRaggedGeometry(t *testing.T) {
+	if _, err := MarshalFrame(&AttentionAllRequest{Queries: [][]float32{make([]float32, 4), make([]float32, 5)}}); err == nil {
+		t.Fatal("ragged attention_all accepted")
+	}
+	bad := sampleStepReq(2, 2, 4)
+	bad.Queries[1] = bad.Queries[1][:1]
+	if _, err := MarshalFrame(bad); err == nil {
+		t.Fatal("ragged step accepted")
+	}
+}

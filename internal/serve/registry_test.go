@@ -225,14 +225,14 @@ func TestServerCloseDrainsAllSessions(t *testing.T) {
 			t.Fatalf("create %d: status %d", i, code)
 		}
 	}
-	if srv.reg.Len() != 5 {
-		t.Fatalf("registry holds %d sessions, want 5", srv.reg.Len())
+	if srv.Service().Registry().Len() != 5 {
+		t.Fatalf("registry holds %d sessions, want 5", srv.Service().Registry().Len())
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if srv.reg.Len() != 0 {
-		t.Fatalf("registry holds %d sessions after Close", srv.reg.Len())
+	if srv.Service().Registry().Len() != 0 {
+		t.Fatalf("registry holds %d sessions after Close", srv.Service().Registry().Len())
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("second close: %v", err)

@@ -1,20 +1,48 @@
-// Package serve exposes a DB over HTTP — the deployment shape of §1's
-// vision: inference engines connect to AlayaDB the way web applications
-// connect to a relational database, shipping generated K/V in and getting
-// finished attention outputs back. The interface carries only queries and
-// attention results (never KV cache contents), which is exactly the
-// paper's "interface simplification" benefit of the decoupling.
+// Package serve exposes a DB as an attention service — the deployment
+// shape of §1's vision: inference engines connect to AlayaDB the way web
+// applications connect to a relational database, shipping generated tokens
+// in and getting finished attention outputs back. The interface carries
+// only queries and attention results (never KV cache contents), which is
+// exactly the paper's "interface simplification" benefit of the
+// decoupling.
 //
-// Endpoints (JSON bodies):
+// The package is layered: Service (service.go) is the transport-agnostic
+// core — typed requests and responses, a typed error model (errors.go),
+// callable in-process by tests and benches — and Server (this file) is the
+// thin HTTP transport over it: routing, body limits, and two codecs. The
+// public Go SDK for the protocol is pkg/alayaclient.
 //
-//	POST /v1/sessions                      create a session (body: document)
-//	POST /v1/sessions/{id}/prefill        generate KV for unreused tokens
-//	POST /v1/sessions/{id}/update         ingest one generated token
-//	POST /v1/sessions/{id}/attention      compute one head's attention
-//	POST /v1/sessions/{id}/attention_all  compute every head of a layer
-//	POST /v1/sessions/{id}/store          persist as a reusable context
-//	DELETE /v1/sessions/{id}              close the session
-//	GET  /v1/stats                        DB-level statistics
+// # Endpoints
+//
+//	method+path                            api  operation
+//	POST   /v1/sessions                    v1   create a session (body: document)
+//	POST   /v1/sessions/{id}/prefill       v1   generate KV for unreused tokens
+//	POST   /v1/sessions/{id}/update        v1   ingest one generated token
+//	POST   /v1/sessions/{id}/attention     v1   compute one head's attention
+//	POST   /v1/sessions/{id}/attention_all v1   compute every head of a layer
+//	POST   /v1/sessions/{id}/step          v2   ingest a token + attention for all layers×heads
+//	POST   /v1/sessions/{id}/steps         v2   batch of N steps in one round trip
+//	POST   /v1/sessions/{id}/store         v1   persist as a reusable context
+//	DELETE /v1/sessions/{id}               v1   close the session
+//	GET    /v1/stats                       v1   DB + endpoint statistics
+//	GET    /v1/healthz                     v2   liveness probe
+//
+// The v1 surface is kept for compatibility; a v2 engine decodes one token
+// per round trip through step (or N per round trip through steps), where
+// v1 needed 1 + Layers round trips per token.
+//
+// # Codecs
+//
+// Every endpoint speaks JSON. The tensor-heavy ones — attention,
+// attention_all, step, steps — also speak the binary frame codec
+// `application/x-alaya-frame` (frame.go documents the wire layout):
+// request bodies are selected by Content-Type, response bodies by Accept,
+// and JSON remains the default for both. Binary and JSON carry identical
+// values — floats cross the wire as IEEE-754 bits in the frame codec and
+// as round-trip-exact decimal in JSON — so a client may mix codecs freely.
+//
+// Errors are always a JSON envelope {"error": message, "kind": kind}; the
+// kind-to-status mapping lives in HTTPStatus.
 //
 // # Locking discipline
 //
@@ -28,63 +56,61 @@
 //     for different sessions never serialize on the table.
 //  3. Each session carries a request RWMutex: attention and stats take it
 //     shared (Session is internally thread-safe for reads and fans its
-//     per-head work across the worker pool), while prefill, update, store
-//     and close take it exclusive because they grow or consume the
-//     session's KV tail. Requests on *different* sessions therefore only
-//     ever share the worker pool, never a lock.
+//     per-head work across the worker pool), while prefill, update, step,
+//     steps, store and close take it exclusive because they grow or
+//     consume the session's KV tail. Requests on *different* sessions
+//     therefore only ever share the worker pool, never a lock.
 package serve
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/devmem"
-	"repro/internal/model"
 )
-
-// attnResultsPool recycles the per-request attention result buffers of the
-// attention_all endpoint. Each request Gets a slice, computes through
-// Session.AttentionAllInto (which reuses the entries' Output/RetrievedIDs
-// storage), serializes the response, and Puts the slice back — so a busy
-// server's steady-state attention traffic produces no per-head garbage
-// beyond the JSON encoding itself.
-var attnResultsPool = sync.Pool{New: func() interface{} { return new([]core.AttentionResult) }}
 
 // DefaultShards is the registry shard count used when no option overrides
 // it: comfortably above typical core counts so shard collisions are rare.
 const DefaultShards = 32
 
-// Server wraps a DB with HTTP handlers. Create with NewServer and mount
-// via Handler(). Safe for concurrent use; see the package comment for the
-// locking discipline.
+// DefaultMaxBodyBytes is the request-body limit when no option overrides
+// it: generous for steps batches at production model geometry, small
+// enough that a misbehaving client cannot buffer the server into the
+// ground.
+const DefaultMaxBodyBytes int64 = 64 << 20
+
+// Server is the HTTP transport over a Service. Create with NewServer and
+// mount via Handler(). Safe for concurrent use; see the package comment
+// for the locking discipline.
 type Server struct {
-	db  *core.DB
-	reg *Registry
+	svc          *Service
+	maxBody      int64
+	encodeErrors atomic.Int64
 }
 
-// Option configures a Server.
-type Option func(*Server)
-
-// WithShards sets the session-registry shard count (rounded up to a power
-// of two).
-func WithShards(n int) Option {
-	return func(s *Server) { s.reg = NewRegistry(n) }
-}
-
-// NewServer returns a server over db.
+// NewServer returns an HTTP server over db.
 func NewServer(db *core.DB, opts ...Option) *Server {
-	s := &Server{db: db, reg: NewRegistry(DefaultShards)}
-	for _, o := range opts {
-		o(s)
+	o := options{shards: DefaultShards, maxBody: DefaultMaxBodyBytes}
+	for _, fn := range opts {
+		fn(&o)
 	}
-	return s
+	return &Server{
+		svc:     &Service{db: db, reg: NewRegistry(o.shards)},
+		maxBody: o.maxBody,
+	}
 }
+
+// Service returns the transport-agnostic core, for in-process callers that
+// share a Server with HTTP traffic.
+func (s *Server) Service() *Service { return s.svc }
+
+// Close closes every open session.
+func (s *Server) Close() error { return s.svc.Close() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
@@ -92,117 +118,141 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	mux.HandleFunc("/v1/sessions/", s.handleSession)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	return mux
 }
 
-// --- wire types ---
+// --- codecs ---
 
-// DocumentWire is the JSON form of a document.
-type DocumentWire struct {
-	Seed   uint64        `json:"seed"`
-	Tokens []model.Token `json:"tokens"`
+// IsFrameMedia reports whether a Content-Type value names the binary
+// frame codec (parameters ignored). Shared with pkg/alayaclient so both
+// sides negotiate the wire identically.
+func IsFrameMedia(contentType string) bool {
+	if i := strings.IndexByte(contentType, ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(contentType)) == FrameContentType
 }
 
-// CreateSessionResponse reports the session id and how many prompt tokens
-// were reused from stored contexts (the "truncated prompts" of Table 2:
-// the engine only needs to prefill from Reused onward).
-type CreateSessionResponse struct {
-	SessionID int64 `json:"session_id"`
-	Reused    int   `json:"reused"`
+// wantsFrame reports whether the client asked for a binary response body.
+func wantsFrame(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), FrameContentType)
 }
 
-// UpdateRequest ingests one token: its document entry plus nothing else —
-// the server generates KV through the substrate. (A real deployment ships
-// the K/V tensors; the substrate owns them here.)
-type UpdateRequest struct {
-	Token model.Token `json:"token"`
+// decodeBody reads the request body into v, honouring the server body
+// limit and — when frameOK — the binary codec. A nil return means v is
+// populated.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}, frameOK bool) *Error {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if IsFrameMedia(r.Header.Get("Content-Type")) {
+		if !frameOK {
+			return errf(KindUnsupportedMedia, "%s bodies are only accepted on tensor endpoints", FrameContentType)
+		}
+		data, err := io.ReadAll(body)
+		if err != nil {
+			return decodeErr(err)
+		}
+		if err := UnmarshalFrame(data, v); err != nil {
+			return BadRequestf("bad frame: %v", err)
+		}
+		return nil
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		return decodeErr(err)
+	}
+	return nil
 }
 
-// AttentionRequest asks for one head's attention output.
-type AttentionRequest struct {
-	Layer int       `json:"layer"`
-	QHead int       `json:"q_head"`
-	Query []float32 `json:"query"`
+// decodeErr classifies a body-read failure: over-limit bodies are
+// KindTooLarge, everything else is the client's malformed input.
+func decodeErr(err error) *Error {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return errf(KindTooLarge, "request body over %d byte limit", tooBig.Limit)
+	}
+	return BadRequestf("bad request body: %v", err)
 }
 
-// AttentionResponse carries the output and the execution facts.
-type AttentionResponse struct {
-	Output    []float32 `json:"output"`
-	Plan      string    `json:"plan"`
-	Retrieved int       `json:"retrieved"`
-	Attended  int       `json:"attended"`
+// releaser is implemented by responses whose tensors alias pooled buffers.
+type releaser interface{ Release() }
+
+// writeResult encodes a successful response: binary when the client asked
+// for it and the type has a frame encoding, JSON otherwise. Pooled
+// response buffers are released after the bytes are on the wire.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, v interface{}) {
+	if rel, ok := v.(releaser); ok {
+		defer rel.Release()
+	}
+	if wantsFrame(r) {
+		buf := getFrameBuf()
+		out, err := appendFrame(buf, v)
+		if err == nil {
+			w.Header().Set("Content-Type", FrameContentType)
+			w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+			if _, werr := w.Write(out); werr != nil {
+				s.encodeErrors.Add(1)
+			}
+			putFrameBuf(out)
+			return
+		}
+		// No frame encoding for this type: fall through to JSON.
+		putFrameBuf(buf)
+	}
+	s.writeJSON(w, v)
 }
 
-// AttentionAllRequest asks for every query head of a layer in one round
-// trip; the server fans the heads across its worker pool. Queries is
-// indexed by query head and must cover all heads.
-type AttentionAllRequest struct {
-	Layer   int         `json:"layer"`
-	Queries [][]float32 `json:"queries"`
+// writeJSON writes v as a JSON body, counting encode/write failures (the
+// status line is already committed, so they cannot change the response).
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErrors.Add(1)
+	}
 }
 
-// AttentionAllResponse carries one AttentionResponse per query head.
-type AttentionAllResponse struct {
-	Heads []AttentionResponse `json:"heads"`
-}
-
-// StatsResponse summarises the DB across both storage tiers.
-type StatsResponse struct {
-	Contexts     int     `json:"contexts"`
-	StoredBytes  int64   `json:"stored_bytes"`
-	Evictions    int64   `json:"evictions"`
-	DeviceUsedGB float64 `json:"device_used_gb"`
-	OpenSessions int     `json:"open_sessions"`
-	// Spill tier (zero/absent when no spill directory is configured).
-	SpillEnabled     bool    `json:"spill_enabled"`
-	SpilledContexts  int     `json:"spilled_contexts,omitempty"`
-	SpilledBytes     int64   `json:"spilled_bytes,omitempty"`
-	Spills           int64   `json:"spills,omitempty"`
-	ReloadHits       int64   `json:"reload_hits,omitempty"`
-	ReloadMisses     int64   `json:"reload_misses,omitempty"`
-	ReloadP50Millis  float64 `json:"reload_p50_ms,omitempty"`
-	ReloadP95Millis  float64 `json:"reload_p95_ms,omitempty"`
-	SpillCacheHits   int64   `json:"spill_cache_hits,omitempty"`
-	SpillCacheMisses int64   `json:"spill_cache_misses,omitempty"`
-	// Stored KV footprint split by plane (always present): with the SQ8
-	// plane enabled the scoring traffic runs over KeyQuantBytes — about a
-	// quarter of KeyBytes — while KeyBytes is the fp32 mirror touched only
-	// by reranks and materialization.
-	KeyBytes      int64 `json:"key_bytes"`
-	ValueBytes    int64 `json:"value_bytes"`
-	KeyQuantBytes int64 `json:"key_quant_bytes,omitempty"`
-	// SQ8 read path (zero/absent when Config.QuantKeys is off).
-	QuantEnabled  bool    `json:"quant_enabled"`
-	QuantSearches int64   `json:"quant_searches,omitempty"`
-	FP32Searches  int64   `json:"fp32_searches,omitempty"`
-	RerankedRows  int64   `json:"reranked_rows,omitempty"`
-	RerankPerSrch float64 `json:"rerank_per_search,omitempty"`
+// writeError sends the typed error envelope with the kind's status.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	env := Envelope(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(HTTPStatus(env.Kind))
+	if eerr := json.NewEncoder(w).Encode(env); eerr != nil {
+		s.encodeErrors.Add(1)
+	}
 }
 
 // --- handlers ---
 
-func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var doc DocumentWire
-	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
-		httpError(w, http.StatusBadRequest, "bad document: %v", err)
-		return
-	}
-	sess, reused := s.db.CreateSession(&model.Document{Seed: doc.Seed, Tokens: doc.Tokens})
-	id := s.reg.Add(sess)
-	writeJSON(w, CreateSessionResponse{SessionID: id, Reused: reused})
+// knownActions is the session action vocabulary; anything else is 404.
+var knownActions = map[string]bool{
+	"prefill": true, "update": true, "attention": true,
+	"attention_all": true, "step": true, "steps": true, "store": true,
 }
 
-// handleSession routes /v1/sessions/{id}/{action}.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, errf(KindMethodNotAllowed, "POST required"))
+		return
+	}
+	var req CreateSessionRequest
+	if derr := s.decodeBody(w, r, &req, false); derr != nil {
+		s.writeError(w, derr)
+		return
+	}
+	resp, err := s.svc.CreateSession(&req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, resp)
+}
+
+// handleSession routes /v1/sessions/{id} and /v1/sessions/{id}/{action}.
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
 	parts := strings.SplitN(rest, "/", 2)
 	id, err := strconv.ParseInt(parts[0], 10, 64)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad session id %q", parts[0])
+		s.writeError(w, BadRequestf("bad session id %q", parts[0]))
 		return
 	}
 	action := ""
@@ -210,170 +260,99 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		action = parts[1]
 	}
 
-	if action == "" && r.Method == http.MethodDelete {
-		sess, ok := s.reg.Remove(id)
-		if !ok {
-			httpError(w, http.StatusNotFound, "no session %d", id)
+	if action == "" {
+		if r.Method != http.MethodDelete {
+			s.writeError(w, errf(KindMethodNotAllowed, "DELETE required to close a session"))
 			return
 		}
-		if err := sess.Close(); err != nil {
-			httpError(w, http.StatusInternalServerError, "close: %v", err)
+		resp, serr := s.svc.CloseSession(id)
+		if serr != nil {
+			s.writeError(w, serr)
 			return
 		}
-		writeJSON(w, map[string]string{"status": "closed"})
+		s.writeJSON(w, resp)
 		return
 	}
 
-	// Mutating actions take the session's request lock exclusively; reads
-	// share it (package comment, level 3).
-	exclusive := action == "prefill" || action == "update" || action == "store"
-	sess, release, ok := s.reg.Acquire(id, exclusive)
-	if !ok {
-		httpError(w, http.StatusNotFound, "no session %d", id)
+	if !knownActions[action] {
+		s.writeError(w, NotFoundf("unknown action %q", action))
 		return
 	}
-	defer release()
+	if r.Method != http.MethodPost {
+		s.writeError(w, errf(KindMethodNotAllowed, "POST required for %s", action))
+		return
+	}
 
-	switch {
-	case action == "prefill" && r.Method == http.MethodPost:
-		fed := sess.PrefillRemaining()
-		writeJSON(w, map[string]int{"prefilled": fed, "context_len": sess.ContextLen(0)})
-	case action == "update" && r.Method == http.MethodPost:
+	var (
+		resp interface{}
+		serr error
+	)
+	switch action {
+	case "prefill":
+		resp, serr = s.svc.Prefill(id)
+	case "update":
 		var req UpdateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad update: %v", err)
+		if derr := s.decodeBody(w, r, &req, false); derr != nil {
+			s.writeError(w, derr)
 			return
 		}
-		sess.AppendToken(req.Token)
-		writeJSON(w, map[string]int{"context_len": sess.ContextLen(0)})
-	case action == "attention" && r.Method == http.MethodPost:
+		resp, serr = s.svc.Update(id, &req)
+	case "attention":
 		var req AttentionRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad attention request: %v", err)
+		if derr := s.decodeBody(w, r, &req, true); derr != nil {
+			s.writeError(w, derr)
 			return
 		}
-		mc := s.db.Model().Config()
-		if req.Layer < 0 || req.Layer >= mc.Layers || req.QHead < 0 || req.QHead >= mc.QHeads {
-			httpError(w, http.StatusBadRequest, "layer/head out of range")
-			return
-		}
-		if len(req.Query) != mc.HeadDim {
-			httpError(w, http.StatusBadRequest, "query dim %d, want %d", len(req.Query), mc.HeadDim)
-			return
-		}
-		res := sess.Attention(req.Layer, req.QHead, req.Query)
-		writeJSON(w, attentionWire(res))
-	case action == "attention_all" && r.Method == http.MethodPost:
+		resp, serr = s.svc.Attention(id, &req)
+	case "attention_all":
 		var req AttentionAllRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad attention_all request: %v", err)
+		if derr := s.decodeBody(w, r, &req, true); derr != nil {
+			s.writeError(w, derr)
 			return
 		}
-		mc := s.db.Model().Config()
-		if req.Layer < 0 || req.Layer >= mc.Layers {
-			httpError(w, http.StatusBadRequest, "layer out of range")
+		resp, serr = s.svc.AttentionAll(id, &req)
+	case "step":
+		var req StepRequest
+		if derr := s.decodeBody(w, r, &req, true); derr != nil {
+			s.writeError(w, derr)
 			return
 		}
-		if len(req.Queries) != mc.QHeads {
-			httpError(w, http.StatusBadRequest, "%d queries, want one per head (%d)", len(req.Queries), mc.QHeads)
+		resp, serr = s.svc.Step(id, &req)
+	case "steps":
+		var req StepsRequest
+		if derr := s.decodeBody(w, r, &req, true); derr != nil {
+			s.writeError(w, derr)
 			return
 		}
-		for h, q := range req.Queries {
-			if len(q) != mc.HeadDim {
-				httpError(w, http.StatusBadRequest, "head %d query dim %d, want %d", h, len(q), mc.HeadDim)
-				return
-			}
-		}
-		buf := attnResultsPool.Get().(*[]core.AttentionResult)
-		if cap(*buf) < len(req.Queries) {
-			*buf = make([]core.AttentionResult, len(req.Queries))
-		}
-		results := (*buf)[:len(req.Queries)]
-		sess.AttentionAllInto(req.Layer, req.Queries, results)
-		resp := AttentionAllResponse{Heads: make([]AttentionResponse, len(results))}
-		for h := range results {
-			resp.Heads[h] = attentionWire(results[h])
-		}
-		writeJSON(w, resp)
-		*buf = results
-		attnResultsPool.Put(buf)
-	case action == "store" && r.Method == http.MethodPost:
-		ctx, err := s.db.Store(sess)
-		if err != nil {
-			httpError(w, http.StatusConflict, "store: %v", err)
-			return
-		}
-		writeJSON(w, map[string]int{"stored_tokens": ctx.Len()})
-	default:
-		httpError(w, http.StatusNotFound, "unknown action %q", action)
+		resp, serr = s.svc.Steps(id, &req)
+	case "store":
+		resp, serr = s.svc.Store(id)
 	}
-}
-
-func attentionWire(res core.AttentionResult) AttentionResponse {
-	return AttentionResponse{
-		Output:    res.Output,
-		Plan:      res.Plan.String(),
-		Retrieved: res.Retrieved,
-		Attended:  res.Attended,
+	if serr != nil {
+		s.writeError(w, serr)
+		return
 	}
+	s.writeResult(w, r, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		s.writeError(w, errf(KindMethodNotAllowed, "GET required"))
 		return
 	}
-	resp := StatsResponse{
-		Contexts:     s.db.NumContexts(),
-		StoredBytes:  s.db.StoredBytes(),
-		Evictions:    s.db.Evictions(),
-		DeviceUsedGB: devmem.GB(s.db.Device().Used()),
-		OpenSessions: s.reg.Len(),
+	resp, err := s.svc.Stats()
+	if err != nil {
+		s.writeError(w, err)
+		return
 	}
-	kv := s.db.StoredKVBytes()
-	resp.KeyBytes = kv.Keys
-	resp.ValueBytes = kv.Values
-	resp.KeyQuantBytes = kv.QuantKeys
-	resp.QuantEnabled = s.db.QuantEnabled()
-	if qs := s.db.QuantStats(); resp.QuantEnabled || qs.FP32Searches > 0 {
-		resp.QuantSearches = qs.QuantSearches
-		resp.FP32Searches = qs.FP32Searches
-		resp.RerankedRows = qs.RerankedRows
-		resp.RerankPerSrch = qs.RerankPerSearch()
-	}
-	if ts := s.db.TierStats(); ts.Enabled {
-		resp.SpillEnabled = true
-		resp.SpilledContexts = ts.SpilledContexts
-		resp.SpilledBytes = ts.SpilledDiskBytes
-		resp.Spills = ts.Counters.Spills
-		resp.ReloadHits = ts.Counters.ReloadHits
-		resp.ReloadMisses = ts.Counters.ReloadMisses
-		resp.ReloadP50Millis = float64(ts.Counters.ReloadP50) / float64(time.Millisecond)
-		resp.ReloadP95Millis = float64(ts.Counters.ReloadP95) / float64(time.Millisecond)
-		resp.SpillCacheHits = ts.Buffer.Hits
-		resp.SpillCacheMisses = ts.Buffer.Misses
-	}
-	writeJSON(w, resp)
+	resp.EncodeErrors = s.encodeErrors.Load()
+	s.writeJSON(w, resp)
 }
 
-// Close closes every open session.
-func (s *Server) Close() error {
-	var firstErr error
-	for _, sess := range s.reg.Drain() {
-		if err := sess.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, errf(KindMethodNotAllowed, "GET required"))
+		return
 	}
-	return firstErr
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	s.writeJSON(w, s.svc.Healthz())
 }

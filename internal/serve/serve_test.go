@@ -17,6 +17,11 @@ import (
 
 func testServer(t *testing.T) (*Server, *httptest.Server, *model.Model) {
 	t.Helper()
+	return testServerOpts(t)
+}
+
+func testServerOpts(t *testing.T, opts ...Option) (*Server, *httptest.Server, *model.Model) {
+	t.Helper()
 	cfg := model.Default()
 	cfg.Layers = 2
 	cfg.QHeads = 4
@@ -33,7 +38,7 @@ func testServer(t *testing.T) (*Server, *httptest.Server, *model.Model) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(db)
+	srv := NewServer(db, opts...)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()

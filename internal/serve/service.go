@@ -1,0 +1,546 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Service is the transport-agnostic core of the serving API: every
+// operation takes a typed request and returns a typed response or a typed
+// *Error, with no HTTP anywhere in sight. The HTTP server (serve.go) is
+// one thin codec over it; benches and tests call it in-process and
+// exercise exactly the deployed logic. Safe for concurrent use — session
+// lookup and locking follow the package comment's discipline.
+type Service struct {
+	db  *core.DB
+	reg *Registry
+	eps metrics.EndpointCounters
+}
+
+// options collects the knobs shared by NewService and NewServer.
+type options struct {
+	shards  int
+	maxBody int64
+}
+
+// Option configures a Service or Server.
+type Option func(*options)
+
+// WithShards sets the session-registry shard count (rounded up to a power
+// of two).
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithMaxBodyBytes bounds request body size on the HTTP server (ignored by
+// a bare Service, which never reads a wire). Default 64 MiB.
+func WithMaxBodyBytes(n int64) Option {
+	return func(o *options) { o.maxBody = n }
+}
+
+// NewService returns the service core over db.
+func NewService(db *core.DB, opts ...Option) *Service {
+	o := options{shards: DefaultShards, maxBody: DefaultMaxBodyBytes}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Service{db: db, reg: NewRegistry(o.shards)}
+}
+
+// DB returns the underlying context store.
+func (s *Service) DB() *core.DB { return s.db }
+
+// Registry returns the session registry (tests inspect shard counts).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// EndpointStats snapshots the per-endpoint request/latency counters.
+func (s *Service) EndpointStats() []metrics.EndpointSnapshot { return s.eps.Snapshot() }
+
+// Close closes every open session.
+func (s *Service) Close() error {
+	var firstErr error
+	for _, sess := range s.reg.Drain() {
+		if err := sess.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// track times one service call and records it in the per-endpoint
+// counters; use as `defer s.track(ep, &err)()` so the deferred closure sees
+// the method's final error value.
+func (s *Service) track(ep metrics.Endpoint, errp *error) func() {
+	start := time.Now()
+	return func() { s.eps.Observe(ep, *errp != nil, time.Since(start)) }
+}
+
+// --- wire types ---
+//
+// These structs are the protocol: the JSON codec marshals them directly,
+// the binary frame codec (frame.go) encodes the tensor-heavy ones, and
+// pkg/alayaclient exposes them to engine authors. Tensor-bearing responses
+// (attention/attention_all/step/steps) may alias pooled buffers — see
+// Release.
+
+// DocumentWire is the JSON form of a document and the create-session
+// request body.
+type DocumentWire struct {
+	Seed   uint64        `json:"seed"`
+	Tokens []model.Token `json:"tokens"`
+}
+
+// CreateSessionRequest opens a session over a document.
+type CreateSessionRequest = DocumentWire
+
+// CreateSessionResponse reports the session id and how many prompt tokens
+// were reused from stored contexts (the "truncated prompts" of Table 2:
+// the engine only needs to prefill from Reused onward).
+type CreateSessionResponse struct {
+	SessionID int64 `json:"session_id"`
+	Reused    int   `json:"reused"`
+}
+
+// PrefillResponse reports a prefill's effect.
+type PrefillResponse struct {
+	Prefilled  int `json:"prefilled"`
+	ContextLen int `json:"context_len"`
+}
+
+// UpdateRequest ingests one token: its document entry plus nothing else —
+// the server generates KV through the substrate. (A real deployment ships
+// the K/V tensors; the substrate owns them here.)
+type UpdateRequest struct {
+	Token model.Token `json:"token"`
+}
+
+// UpdateResponse reports the context length after the update.
+type UpdateResponse struct {
+	ContextLen int `json:"context_len"`
+}
+
+// AttentionRequest asks for one head's attention output.
+type AttentionRequest struct {
+	Layer int       `json:"layer"`
+	QHead int       `json:"q_head"`
+	Query []float32 `json:"query"`
+}
+
+// AttentionResponse carries the output and the execution facts.
+type AttentionResponse struct {
+	Output    []float32 `json:"output"`
+	Plan      string    `json:"plan"`
+	Retrieved int       `json:"retrieved"`
+	Attended  int       `json:"attended"`
+}
+
+// AttentionAllRequest asks for every query head of a layer in one round
+// trip; the server fans the heads across its worker pool. Queries is
+// indexed by query head and must cover all heads.
+type AttentionAllRequest struct {
+	Layer   int         `json:"layer"`
+	Queries [][]float32 `json:"queries"`
+}
+
+// AttentionAllResponse carries one AttentionResponse per query head.
+type AttentionAllResponse struct {
+	Heads []AttentionResponse `json:"heads"`
+	released
+}
+
+// StepRequest is one whole decode step — the v2 coarse API. It ingests
+// the generated token and asks for attention outputs of every layer and
+// head in a single round trip; Queries is indexed [layer][query head] and
+// must cover the full model geometry.
+type StepRequest struct {
+	Token   model.Token   `json:"token"`
+	Queries [][][]float32 `json:"queries"`
+}
+
+// StepResponse carries every head's attention output, indexed
+// [layer][query head], over the context extended by the step's token.
+type StepResponse struct {
+	ContextLen int                   `json:"context_len"`
+	Layers     [][]AttentionResponse `json:"layers"`
+	released
+}
+
+// StepsRequest amortizes N decode steps in one round trip; steps execute
+// in order against the same session.
+type StepsRequest struct {
+	Steps []StepRequest `json:"steps"`
+}
+
+// StepsResponse carries one StepResponse per requested step.
+type StepsResponse struct {
+	Steps []StepResponse `json:"steps"`
+	released
+}
+
+// StoreResponse reports a successful context store.
+type StoreResponse struct {
+	StoredTokens int `json:"stored_tokens"`
+}
+
+// CloseResponse acknowledges a session close.
+type CloseResponse struct {
+	Status string `json:"status"`
+}
+
+// HealthzResponse is the load-balancer probe body.
+type HealthzResponse struct {
+	Status       string `json:"status"`
+	OpenSessions int    `json:"open_sessions"`
+}
+
+// StatsResponse summarises the DB across both storage tiers.
+type StatsResponse struct {
+	Contexts     int     `json:"contexts"`
+	StoredBytes  int64   `json:"stored_bytes"`
+	Evictions    int64   `json:"evictions"`
+	DeviceUsedGB float64 `json:"device_used_gb"`
+	OpenSessions int     `json:"open_sessions"`
+	// Spill tier (zero/absent when no spill directory is configured).
+	SpillEnabled     bool    `json:"spill_enabled"`
+	SpilledContexts  int     `json:"spilled_contexts,omitempty"`
+	SpilledBytes     int64   `json:"spilled_bytes,omitempty"`
+	Spills           int64   `json:"spills,omitempty"`
+	ReloadHits       int64   `json:"reload_hits,omitempty"`
+	ReloadMisses     int64   `json:"reload_misses,omitempty"`
+	ReloadP50Millis  float64 `json:"reload_p50_ms,omitempty"`
+	ReloadP95Millis  float64 `json:"reload_p95_ms,omitempty"`
+	SpillCacheHits   int64   `json:"spill_cache_hits,omitempty"`
+	SpillCacheMisses int64   `json:"spill_cache_misses,omitempty"`
+	// Stored KV footprint split by plane (always present): with the SQ8
+	// plane enabled the scoring traffic runs over KeyQuantBytes — about a
+	// quarter of KeyBytes — while KeyBytes is the fp32 mirror touched only
+	// by reranks and materialization.
+	KeyBytes      int64 `json:"key_bytes"`
+	ValueBytes    int64 `json:"value_bytes"`
+	KeyQuantBytes int64 `json:"key_quant_bytes,omitempty"`
+	// SQ8 read path (zero/absent when Config.QuantKeys is off).
+	QuantEnabled  bool    `json:"quant_enabled"`
+	QuantSearches int64   `json:"quant_searches,omitempty"`
+	FP32Searches  int64   `json:"fp32_searches,omitempty"`
+	RerankedRows  int64   `json:"reranked_rows,omitempty"`
+	RerankPerSrch float64 `json:"rerank_per_search,omitempty"`
+	// Per-endpoint request/latency counters of the serving API (absent
+	// until the first request).
+	Endpoints []metrics.EndpointSnapshot `json:"endpoints,omitempty"`
+	// EncodeErrors counts response bodies the HTTP transport failed to
+	// encode or write after the status line was committed (filled by the
+	// Server; always 0 from a bare Service).
+	EncodeErrors int64 `json:"encode_errors,omitempty"`
+}
+
+// --- pooled result buffers ---
+
+// released gives tensor-bearing responses a Release method: their float
+// slices alias pooled buffers drawn by the service, so a transport encodes
+// the response and then calls Release to hand the buffers back. Release is
+// optional — a caller that retains the response simply never releases, and
+// the buffers are garbage collected instead of recycled — and idempotent.
+type released struct {
+	done func()
+}
+
+// Release recycles the response's pooled buffers. The response and any
+// slices read from it must not be used afterwards.
+func (r *released) Release() {
+	if r.done != nil {
+		r.done()
+		r.done = nil
+	}
+}
+
+// stepScratch is one pooled layers×heads result block. rows re-slices flat
+// so AttentionResult entries — and their Output/RetrievedIDs storage — are
+// reused across requests, the serving counterpart of core's decodeState
+// pool: a busy server's steady-state step traffic allocates only the
+// response envelopes, never the tensor buffers.
+type stepScratch struct {
+	flat []core.AttentionResult
+	rows [][]core.AttentionResult
+}
+
+var stepScratchPool = sync.Pool{New: func() interface{} { return new(stepScratch) }}
+
+// grab shapes the scratch to layers×heads and returns the row view.
+func (sc *stepScratch) grab(layers, heads int) [][]core.AttentionResult {
+	n := layers * heads
+	if cap(sc.flat) < n {
+		flat := make([]core.AttentionResult, n)
+		copy(flat, sc.flat)
+		sc.flat = flat
+	}
+	sc.flat = sc.flat[:n]
+	if cap(sc.rows) < layers {
+		sc.rows = make([][]core.AttentionResult, layers)
+	}
+	sc.rows = sc.rows[:layers]
+	for l := 0; l < layers; l++ {
+		sc.rows[l] = sc.flat[l*heads : (l+1)*heads]
+	}
+	return sc.rows
+}
+
+func attentionWire(res *core.AttentionResult) AttentionResponse {
+	return AttentionResponse{
+		Output:    res.Output,
+		Plan:      res.Plan.String(),
+		Retrieved: res.Retrieved,
+		Attended:  res.Attended,
+	}
+}
+
+// --- operations ---
+
+// CreateSession opens a session over the request document, reusing the
+// longest stored-context prefix.
+func (s *Service) CreateSession(req *CreateSessionRequest) (resp *CreateSessionResponse, err error) {
+	defer s.track(metrics.EPCreateSession, &err)()
+	sess, reused := s.db.CreateSession(&model.Document{Seed: req.Seed, Tokens: req.Tokens})
+	id := s.reg.Add(sess)
+	return &CreateSessionResponse{SessionID: id, Reused: reused}, nil
+}
+
+// Prefill generates KV for every document token not covered by the reused
+// prefix.
+func (s *Service) Prefill(id int64) (resp *PrefillResponse, err error) {
+	defer s.track(metrics.EPPrefill, &err)()
+	sess, release, ok := s.reg.Acquire(id, true)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	fed := sess.PrefillRemaining()
+	return &PrefillResponse{Prefilled: fed, ContextLen: sess.ContextLen(0)}, nil
+}
+
+// Update ingests one generated token (the v1 fine-grained API; the v2
+// decode path uses Step).
+func (s *Service) Update(id int64, req *UpdateRequest) (resp *UpdateResponse, err error) {
+	defer s.track(metrics.EPUpdate, &err)()
+	sess, release, ok := s.reg.Acquire(id, true)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	sess.AppendToken(req.Token)
+	return &UpdateResponse{ContextLen: sess.ContextLen(0)}, nil
+}
+
+// Attention computes one head's attention output.
+func (s *Service) Attention(id int64, req *AttentionRequest) (resp *AttentionResponse, err error) {
+	defer s.track(metrics.EPAttention, &err)()
+	mc := s.db.Model().Config()
+	if req.Layer < 0 || req.Layer >= mc.Layers || req.QHead < 0 || req.QHead >= mc.QHeads {
+		return nil, BadRequestf("layer/head out of range")
+	}
+	if len(req.Query) != mc.HeadDim {
+		return nil, BadRequestf("query dim %d, want %d", len(req.Query), mc.HeadDim)
+	}
+	sess, release, ok := s.reg.Acquire(id, false)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	res := sess.Attention(req.Layer, req.QHead, req.Query)
+	out := attentionWire(&res)
+	return &out, nil
+}
+
+// checkLayerQueries validates one layer's worth of per-head queries.
+func checkLayerQueries(qs [][]float32, mc model.Config) *Error {
+	if len(qs) != mc.QHeads {
+		return BadRequestf("%d queries, want one per head (%d)", len(qs), mc.QHeads)
+	}
+	for h, q := range qs {
+		if len(q) != mc.HeadDim {
+			return BadRequestf("head %d query dim %d, want %d", h, len(q), mc.HeadDim)
+		}
+	}
+	return nil
+}
+
+// checkStepQueries validates a full layers×heads query block.
+func checkStepQueries(qs [][][]float32, mc model.Config) *Error {
+	if len(qs) != mc.Layers {
+		return BadRequestf("%d query layers, want one per layer (%d)", len(qs), mc.Layers)
+	}
+	for l := range qs {
+		if err := checkLayerQueries(qs[l], mc); err != nil {
+			return BadRequestf("layer %d: %s", l, err.Message)
+		}
+	}
+	return nil
+}
+
+// AttentionAll computes every head of one layer (the v1 per-layer batch).
+func (s *Service) AttentionAll(id int64, req *AttentionAllRequest) (resp *AttentionAllResponse, err error) {
+	defer s.track(metrics.EPAttentionAll, &err)()
+	mc := s.db.Model().Config()
+	if req.Layer < 0 || req.Layer >= mc.Layers {
+		return nil, BadRequestf("layer out of range")
+	}
+	if verr := checkLayerQueries(req.Queries, mc); verr != nil {
+		return nil, verr
+	}
+	sess, release, ok := s.reg.Acquire(id, false)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	sc := stepScratchPool.Get().(*stepScratch)
+	results := sc.grab(1, len(req.Queries))[0]
+	sess.AttentionAllInto(req.Layer, req.Queries, results)
+	resp = &AttentionAllResponse{Heads: make([]AttentionResponse, len(results))}
+	for h := range results {
+		resp.Heads[h] = attentionWire(&results[h])
+	}
+	resp.done = func() { stepScratchPool.Put(sc) }
+	return resp, nil
+}
+
+// stepInto runs one validated decode step on an acquired session, writing
+// into a pooled scratch, and returns the wire response (sans done hook).
+func stepWire(sess *core.Session, req *StepRequest, sc *stepScratch, mc model.Config) *StepResponse {
+	results := sc.grab(mc.Layers, mc.QHeads)
+	sess.StepInto(req.Token, req.Queries, results)
+	resp := &StepResponse{ContextLen: sess.ContextLen(0), Layers: make([][]AttentionResponse, len(results))}
+	for l := range results {
+		resp.Layers[l] = make([]AttentionResponse, len(results[l]))
+		for h := range results[l] {
+			resp.Layers[l][h] = attentionWire(&results[l][h])
+		}
+	}
+	return resp
+}
+
+// Step is the v2 coarse decode API: ingest the step's token and return
+// attention outputs for all layers × all heads in one call, fanned across
+// the worker pool. The response is bitwise-identical to the v1 sequence
+// (Update, then AttentionAll per layer) it replaces.
+func (s *Service) Step(id int64, req *StepRequest) (resp *StepResponse, err error) {
+	defer s.track(metrics.EPStep, &err)()
+	mc := s.db.Model().Config()
+	if verr := checkStepQueries(req.Queries, mc); verr != nil {
+		return nil, verr
+	}
+	sess, release, ok := s.reg.Acquire(id, true)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	sc := stepScratchPool.Get().(*stepScratch)
+	resp = stepWire(sess, req, sc, mc)
+	resp.done = func() { stepScratchPool.Put(sc) }
+	return resp, nil
+}
+
+// Steps amortizes N decode steps over one round trip, executing them in
+// order under a single session acquisition.
+func (s *Service) Steps(id int64, req *StepsRequest) (resp *StepsResponse, err error) {
+	defer s.track(metrics.EPSteps, &err)()
+	mc := s.db.Model().Config()
+	for i := range req.Steps {
+		if verr := checkStepQueries(req.Steps[i].Queries, mc); verr != nil {
+			return nil, BadRequestf("step %d: %s", i, verr.Message)
+		}
+	}
+	sess, release, ok := s.reg.Acquire(id, true)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	scratches := make([]*stepScratch, len(req.Steps))
+	resp = &StepsResponse{Steps: make([]StepResponse, len(req.Steps))}
+	for i := range req.Steps {
+		scratches[i] = stepScratchPool.Get().(*stepScratch)
+		resp.Steps[i] = *stepWire(sess, &req.Steps[i], scratches[i], mc)
+	}
+	resp.done = func() {
+		for _, sc := range scratches {
+			stepScratchPool.Put(sc)
+		}
+	}
+	return resp, nil
+}
+
+// Store persists the session's full state as a reusable context.
+func (s *Service) Store(id int64) (resp *StoreResponse, err error) {
+	defer s.track(metrics.EPStore, &err)()
+	sess, release, ok := s.reg.Acquire(id, true)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	defer release()
+	ctx, serr := s.db.Store(sess)
+	if serr != nil {
+		return nil, Conflictf("store: %v", serr)
+	}
+	return &StoreResponse{StoredTokens: ctx.Len()}, nil
+}
+
+// CloseSession removes and closes a session, draining in-flight requests.
+func (s *Service) CloseSession(id int64) (resp *CloseResponse, err error) {
+	defer s.track(metrics.EPCloseSession, &err)()
+	sess, ok := s.reg.Remove(id)
+	if !ok {
+		return nil, NotFoundf("no session %d", id)
+	}
+	if cerr := sess.Close(); cerr != nil {
+		return nil, Internalf("close: %v", cerr)
+	}
+	return &CloseResponse{Status: "closed"}, nil
+}
+
+// Healthz is the liveness probe.
+func (s *Service) Healthz() *HealthzResponse {
+	resp := &HealthzResponse{Status: "ok", OpenSessions: s.reg.Len()}
+	s.eps.Observe(metrics.EPHealthz, false, 0)
+	return resp
+}
+
+// Stats summarises the DB, both storage tiers, the quantized read path,
+// and the serving API's per-endpoint counters.
+func (s *Service) Stats() (resp *StatsResponse, err error) {
+	defer s.track(metrics.EPStats, &err)()
+	resp = &StatsResponse{
+		Contexts:     s.db.NumContexts(),
+		StoredBytes:  s.db.StoredBytes(),
+		Evictions:    s.db.Evictions(),
+		DeviceUsedGB: devmem.GB(s.db.Device().Used()),
+		OpenSessions: s.reg.Len(),
+	}
+	kv := s.db.StoredKVBytes()
+	resp.KeyBytes = kv.Keys
+	resp.ValueBytes = kv.Values
+	resp.KeyQuantBytes = kv.QuantKeys
+	resp.QuantEnabled = s.db.QuantEnabled()
+	if qs := s.db.QuantStats(); resp.QuantEnabled || qs.FP32Searches > 0 {
+		resp.QuantSearches = qs.QuantSearches
+		resp.FP32Searches = qs.FP32Searches
+		resp.RerankedRows = qs.RerankedRows
+		resp.RerankPerSrch = qs.RerankPerSearch()
+	}
+	if ts := s.db.TierStats(); ts.Enabled {
+		resp.SpillEnabled = true
+		resp.SpilledContexts = ts.SpilledContexts
+		resp.SpilledBytes = ts.SpilledDiskBytes
+		resp.Spills = ts.Counters.Spills
+		resp.ReloadHits = ts.Counters.ReloadHits
+		resp.ReloadMisses = ts.Counters.ReloadMisses
+		resp.ReloadP50Millis = float64(ts.Counters.ReloadP50) / float64(time.Millisecond)
+		resp.ReloadP95Millis = float64(ts.Counters.ReloadP95) / float64(time.Millisecond)
+		resp.SpillCacheHits = ts.Buffer.Hits
+		resp.SpillCacheMisses = ts.Buffer.Misses
+	}
+	resp.Endpoints = s.eps.Snapshot()
+	return resp, nil
+}

@@ -1,0 +1,304 @@
+// Package alayaclient is the public Go SDK for AlayaDB's attention
+// service: the typed, tested definition of the wire protocol that
+// cmd/alayactl, the examples and the serving benchmarks all consume.
+//
+// A Client connects an inference engine to a running alayad:
+//
+//	cli := alayaclient.New("http://localhost:8265")
+//	sess, err := cli.CreateSession(doc)      // reuse any stored prefix
+//	sess.Prefill()                           // KV for unreused tokens
+//	resp, err := sess.Step(tok, queries)     // one decoded token, ONE round trip
+//	sess.Store()                             // persist for future reuse
+//	sess.Close()
+//
+// Step is the v2 decode API: it ships the generated token plus the query
+// vectors of every layer and head, and returns attention outputs for all
+// of them in a single round trip — where the v1 surface (Update +
+// AttentionAll per layer, also exposed here) needed 1 + Layers round
+// trips per token. Steps batches N tokens per round trip.
+//
+// By default tensor-heavy calls use the binary frame codec
+// (application/x-alaya-frame; see internal/serve for the wire layout) and
+// fall back to JSON automatically if the server rejects it; WithJSON
+// forces JSON. Both codecs carry float32 values exactly, so the outputs
+// are bitwise-identical either way. The Client reuses connections and is
+// safe for concurrent use; a Session serializes its own mutating calls
+// server-side but may be shared across goroutines freely.
+package alayaclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// Wire types re-exported from the service definition, so engine code only
+// imports this package.
+type (
+	// Token is one document token.
+	Token = model.Token
+	// Document is a token sequence namespaced by a seed.
+	Document = model.Document
+	// StepRequest is one decode step: a token plus [layer][head] queries.
+	StepRequest = serve.StepRequest
+	// StepResponse carries [layer][head] attention outputs.
+	StepResponse = serve.StepResponse
+	// AttentionResponse is one head's output plus execution facts.
+	AttentionResponse = serve.AttentionResponse
+	// AttentionAllResponse is one layer's per-head outputs.
+	AttentionAllResponse = serve.AttentionAllResponse
+	// StatsResponse is the DB/endpoint statistics document.
+	StatsResponse = serve.StatsResponse
+	// HealthzResponse is the liveness probe body.
+	HealthzResponse = serve.HealthzResponse
+)
+
+// APIError is a non-2xx response decoded from the server's typed error
+// envelope.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Kind is the service error kind ("not_found", "bad_request", …).
+	Kind serve.Kind
+	// Message is the human-readable error.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("alayaclient: %s (%s, http %d)", e.Message, e.Kind, e.Status)
+}
+
+// IsNotFound reports whether err is an APIError with kind not_found.
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Kind == serve.KindNotFound
+}
+
+// Client talks to one alayad. Safe for concurrent use.
+type Client struct {
+	base      string
+	hc        *http.Client
+	forceJSON atomic.Bool
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// custom transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithJSON forces the JSON codec on tensor endpoints instead of the
+// binary frame wire.
+func WithJSON() Option {
+	return func(c *Client) { c.forceJSON.Store(true) }
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://localhost:8265"). The default HTTP client keeps a generous
+// idle-connection pool per host so concurrent decode loops reuse
+// connections instead of re-dialing.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/")}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		c.hc = &http.Client{Transport: tr}
+	}
+	return c
+}
+
+// do issues one request and decodes the response into out (which may be
+// nil). Error responses become *APIError.
+func (c *Client) do(method, path string, contentType string, body []byte, accept string, out interface{}) error {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode/100 != 2 {
+		ae := &APIError{Status: resp.StatusCode}
+		var env serve.ErrorEnvelope
+		if jerr := json.NewDecoder(resp.Body).Decode(&env); jerr == nil && env.Error != "" {
+			ae.Kind, ae.Message = env.Kind, env.Error
+		} else {
+			ae.Kind, ae.Message = serve.KindInternal, fmt.Sprintf("http status %d", resp.StatusCode)
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	if serve.IsFrameMedia(resp.Header.Get("Content-Type")) {
+		data, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			return rerr
+		}
+		return serve.UnmarshalFrame(data, out)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON posts a JSON body (the non-tensor endpoints).
+func (c *Client) postJSON(path string, in, out interface{}) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	} else {
+		body = []byte("{}")
+	}
+	return c.do(http.MethodPost, path, "application/json", body, "", out)
+}
+
+// postTensor posts a tensor-heavy request: binary frames by default,
+// falling back to JSON permanently if the server rejects the media type.
+func (c *Client) postTensor(path string, in, out interface{}) error {
+	if !c.forceJSON.Load() {
+		body, err := serve.MarshalFrame(in)
+		if err == nil {
+			err = c.do(http.MethodPost, path, serve.FrameContentType, body, serve.FrameContentType, out)
+			if ae, ok := err.(*APIError); ok && (ae.Status == http.StatusUnsupportedMediaType || ae.Status == http.StatusNotAcceptable) {
+				c.forceJSON.Store(true) // server speaks no frames; stay on JSON
+			} else {
+				return err
+			}
+		}
+		// Requests the fixed-geometry frame layout cannot represent (e.g.
+		// ragged query grids) go over JSON, where the server can reject
+		// them with its typed validation error.
+	}
+	return c.postJSON(path, in, out)
+}
+
+// Healthz probes the daemon's liveness endpoint.
+func (c *Client) Healthz() (HealthzResponse, error) {
+	var hz HealthzResponse
+	err := c.do(http.MethodGet, "/v1/healthz", "", nil, "", &hz)
+	return hz, err
+}
+
+// Stats fetches the DB, tier, quant and per-endpoint statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var st StatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", "", nil, "", &st)
+	return st, err
+}
+
+// Session is a server-side session handle.
+type Session struct {
+	c *Client
+	// ID is the server-assigned session id.
+	ID int64
+	// Reused is how many prompt tokens the server reused from stored
+	// contexts; the engine only needs KV from that position on.
+	Reused int
+}
+
+// CreateSession opens a session over doc, reusing the longest stored
+// prefix.
+func (c *Client) CreateSession(doc *Document) (*Session, error) {
+	var resp serve.CreateSessionResponse
+	if err := c.postJSON("/v1/sessions", serve.DocumentWire{Seed: doc.Seed, Tokens: doc.Tokens}, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: resp.SessionID, Reused: resp.Reused}, nil
+}
+
+func (s *Session) path(action string) string {
+	p := fmt.Sprintf("/v1/sessions/%d", s.ID)
+	if action != "" {
+		p += "/" + action
+	}
+	return p
+}
+
+// Prefill generates KV for every document token not covered by the
+// reused prefix.
+func (s *Session) Prefill() (serve.PrefillResponse, error) {
+	var resp serve.PrefillResponse
+	err := s.c.postJSON(s.path("prefill"), nil, &resp)
+	return resp, err
+}
+
+// Update ingests one generated token (v1 fine-grained API; v2 decode
+// loops use Step).
+func (s *Session) Update(tok Token) (serve.UpdateResponse, error) {
+	var resp serve.UpdateResponse
+	err := s.c.postJSON(s.path("update"), serve.UpdateRequest{Token: tok}, &resp)
+	return resp, err
+}
+
+// Attention computes one head's attention output (v1).
+func (s *Session) Attention(layer, qHead int, query []float32) (AttentionResponse, error) {
+	var resp AttentionResponse
+	err := s.c.postTensor(s.path("attention"), &serve.AttentionRequest{Layer: layer, QHead: qHead, Query: query}, &resp)
+	return resp, err
+}
+
+// AttentionAll computes every head of one layer (v1).
+func (s *Session) AttentionAll(layer int, queries [][]float32) (AttentionAllResponse, error) {
+	var resp AttentionAllResponse
+	err := s.c.postTensor(s.path("attention_all"), &serve.AttentionAllRequest{Layer: layer, Queries: queries}, &resp)
+	return resp, err
+}
+
+// Step decodes one token in one round trip: tok is ingested across all
+// layers, and queries (indexed [layer][query head], covering the full
+// model geometry) are answered with attention outputs for every layer and
+// head over the extended context.
+func (s *Session) Step(tok Token, queries [][][]float32) (StepResponse, error) {
+	var resp StepResponse
+	err := s.c.postTensor(s.path("step"), &serve.StepRequest{Token: tok, Queries: queries}, &resp)
+	return resp, err
+}
+
+// Steps amortizes N decode steps over one round trip; steps execute in
+// order.
+func (s *Session) Steps(steps []StepRequest) ([]StepResponse, error) {
+	var resp serve.StepsResponse
+	if err := s.c.postTensor(s.path("steps"), &serve.StepsRequest{Steps: steps}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Steps, nil
+}
+
+// Store persists the session's full state as a reusable stored context.
+func (s *Session) Store() (serve.StoreResponse, error) {
+	var resp serve.StoreResponse
+	err := s.c.postJSON(s.path("store"), nil, &resp)
+	return resp, err
+}
+
+// Close closes the session server-side.
+func (s *Session) Close() error {
+	return s.c.do(http.MethodDelete, s.path(""), "", nil, "", nil)
+}

@@ -1,0 +1,354 @@
+package alayaclient
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// countingTransport counts round trips so tests can assert protocol cost.
+type countingTransport struct {
+	base http.RoundTripper
+	n    atomic.Int64
+}
+
+func (t *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	t.n.Add(1)
+	return t.base.RoundTrip(r)
+}
+
+type testEnv struct {
+	ts   *httptest.Server
+	m    *model.Model
+	inst workload.Instance
+}
+
+func newTestEnv(t *testing.T, contextLen int) *testEnv {
+	t.Helper()
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Window:        attention.Window{Sinks: 4, Recent: 16},
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 17, contextLen, 64, 32)
+	if _, err := db.ImportDoc(inst.Doc); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(db)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		db.Close()
+	})
+	return &testEnv{ts: ts, m: m, inst: inst}
+}
+
+func (e *testEnv) queries(step int) [][][]float32 {
+	mc := e.m.Config()
+	qs := make([][][]float32, mc.Layers)
+	for l := range qs {
+		qs[l] = make([][]float32, mc.QHeads)
+		for h := range qs[l] {
+			qs[l][h] = e.m.QueryVector(e.inst.Doc, l, h, model.QuerySpec{
+				FocusTopics: e.inst.Question, Step: step, ContextLen: e.inst.Doc.Len()})
+		}
+	}
+	return qs
+}
+
+func (e *testEnv) session(t *testing.T, c *Client) *Session {
+	t.Helper()
+	sess, err := c.CreateSession(e.inst.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Reused != e.inst.Doc.Len() {
+		t.Fatalf("session reused %d of %d tokens", sess.Reused, e.inst.Doc.Len())
+	}
+	return sess
+}
+
+func sameOutputs(t *testing.T, label string, a, b AttentionResponse) {
+	t.Helper()
+	if a.Plan != b.Plan || a.Retrieved != b.Retrieved || a.Attended != b.Attended {
+		t.Fatalf("%s metadata: %+v vs %+v", label, a, b)
+	}
+	if len(a.Output) != len(b.Output) {
+		t.Fatalf("%s output dims %d vs %d", label, len(a.Output), len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("%s output[%d]: %x vs %x", label, i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+// TestStepOneRoundTripBothCodecsMatchV1 is the protocol acceptance test:
+// one decoded token costs exactly one round trip via Client.Step, and the
+// binary and JSON codecs return outputs bitwise-identical to each other
+// and to the v1 per-layer path (1 update + Layers × attention_all).
+func TestStepOneRoundTripBothCodecsMatchV1(t *testing.T) {
+	env := newTestEnv(t, 400)
+	mc := env.m.Config()
+
+	ct := &countingTransport{base: http.DefaultTransport}
+	binCli := New(env.ts.URL, WithHTTPClient(&http.Client{Transport: ct}))
+	jsonCli := New(env.ts.URL, WithJSON())
+	v1Cli := New(env.ts.URL, WithJSON())
+
+	binSess := env.session(t, binCli)
+	jsonSess := env.session(t, jsonCli)
+	v1Sess := env.session(t, v1Cli)
+
+	for step := 0; step < 3; step++ {
+		tok := Token{Topic: 1, Payload: step + 1}
+		qs := env.queries(step)
+
+		// v1: 1 + Layers round trips.
+		if _, err := v1Sess.Update(tok); err != nil {
+			t.Fatal(err)
+		}
+		v1Out := make([][]AttentionResponse, mc.Layers)
+		for l := 0; l < mc.Layers; l++ {
+			resp, err := v1Sess.AttentionAll(l, qs[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			v1Out[l] = resp.Heads
+		}
+
+		// v2 binary: exactly one round trip.
+		before := ct.n.Load()
+		binResp, err := binSess.Step(tok, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ct.n.Load() - before; got != 1 {
+			t.Fatalf("binary step used %d round trips, want 1", got)
+		}
+
+		// v2 JSON.
+		jsonResp, err := jsonSess.Step(tok, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if binResp.ContextLen != jsonResp.ContextLen || binResp.ContextLen != env.inst.Doc.Len()+step+1 {
+			t.Fatalf("context len: bin %d json %d", binResp.ContextLen, jsonResp.ContextLen)
+		}
+		for l := 0; l < mc.Layers; l++ {
+			for h := 0; h < mc.QHeads; h++ {
+				label := fmt.Sprintf("step %d L%dH%d", step, l, h)
+				sameOutputs(t, label+" bin-vs-json", binResp.Layers[l][h], jsonResp.Layers[l][h])
+				sameOutputs(t, label+" bin-vs-v1", binResp.Layers[l][h], v1Out[l][h])
+			}
+		}
+	}
+}
+
+// TestStepsBatchMatchesSingles: the batched endpoint equals N single
+// steps, bit for bit.
+func TestStepsBatchMatchesSingles(t *testing.T) {
+	env := newTestEnv(t, 300)
+	single := env.session(t, New(env.ts.URL))
+	batch := env.session(t, New(env.ts.URL))
+
+	const n = 3
+	var reqs []StepRequest
+	var singles []StepResponse
+	for i := 0; i < n; i++ {
+		tok := Token{Topic: 2, Payload: i + 1}
+		qs := env.queries(i)
+		reqs = append(reqs, StepRequest{Token: tok, Queries: qs})
+		resp, err := single.Step(tok, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles = append(singles, resp)
+	}
+	batched, err := batch.Steps(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != n {
+		t.Fatalf("batch returned %d steps", len(batched))
+	}
+	for i := range batched {
+		if batched[i].ContextLen != singles[i].ContextLen {
+			t.Fatalf("step %d context %d vs %d", i, batched[i].ContextLen, singles[i].ContextLen)
+		}
+		for l := range batched[i].Layers {
+			for h := range batched[i].Layers[l] {
+				sameOutputs(t, fmt.Sprintf("batch step %d L%dH%d", i, l, h),
+					batched[i].Layers[l][h], singles[i].Layers[l][h])
+			}
+		}
+	}
+}
+
+// TestErrorConformance sweeps endpoint × bad-input classes through the
+// SDK: every failure surfaces as *APIError with the documented kind.
+func TestErrorConformance(t *testing.T) {
+	env := newTestEnv(t, 300)
+	c := New(env.ts.URL)
+	sess := env.session(t, c)
+	mc := env.m.Config()
+	goodQ := make([]float32, mc.HeadDim)
+
+	ghost := &Session{c: c, ID: 999999}
+	badQs := env.queries(0)
+	badQs[0] = badQs[0][:1] // ragged head count on layer 0
+
+	cases := []struct {
+		name string
+		do   func() error
+		kind serve.Kind
+	}{
+		{"prefill missing session", func() error { _, err := ghost.Prefill(); return err }, serve.KindNotFound},
+		{"update missing session", func() error { _, err := ghost.Update(Token{}); return err }, serve.KindNotFound},
+		{"step missing session", func() error { _, err := ghost.Step(Token{}, env.queries(0)); return err }, serve.KindNotFound},
+		{"store missing session", func() error { _, err := ghost.Store(); return err }, serve.KindNotFound},
+		{"close missing session", func() error { return ghost.Close() }, serve.KindNotFound},
+		{"attention bad layer", func() error { _, err := sess.Attention(99, 0, goodQ); return err }, serve.KindBadRequest},
+		{"attention bad head", func() error { _, err := sess.Attention(0, 99, goodQ); return err }, serve.KindBadRequest},
+		{"attention bad dim", func() error { _, err := sess.Attention(0, 0, goodQ[:3]); return err }, serve.KindBadRequest},
+		{"attention_all bad layer", func() error {
+			_, err := sess.AttentionAll(99, env.queries(0)[0])
+			return err
+		}, serve.KindBadRequest},
+		{"attention_all missing heads", func() error {
+			_, err := sess.AttentionAll(0, env.queries(0)[0][:1])
+			return err
+		}, serve.KindBadRequest},
+		{"step ragged geometry", func() error { _, err := sess.Step(Token{}, badQs); return err }, serve.KindBadRequest},
+		{"step missing layers", func() error { _, err := sess.Step(Token{}, env.queries(0)[:1]); return err }, serve.KindBadRequest},
+		{"steps bad inner step", func() error {
+			_, err := sess.Steps([]StepRequest{{Token: Token{}, Queries: env.queries(0)[:1]}})
+			return err
+		}, serve.KindBadRequest},
+	}
+	for _, tc := range cases {
+		err := tc.do()
+		ae, ok := err.(*APIError)
+		if !ok {
+			t.Errorf("%s: err = %v (%T), want *APIError", tc.name, err, err)
+			continue
+		}
+		if ae.Kind != tc.kind {
+			t.Errorf("%s: kind %q, want %q (%v)", tc.name, ae.Kind, tc.kind, ae)
+		}
+		if ae.Status != serve.HTTPStatus(tc.kind) {
+			t.Errorf("%s: status %d, want %d", tc.name, ae.Status, serve.HTTPStatus(tc.kind))
+		}
+	}
+	if !IsNotFound(&APIError{Kind: serve.KindNotFound}) || IsNotFound(fmt.Errorf("x")) {
+		t.Error("IsNotFound misclassifies")
+	}
+}
+
+// TestClientStatsHealthz exercises the observability surface through the
+// SDK, including the per-endpoint counters the v2 API added.
+func TestClientStatsHealthz(t *testing.T) {
+	env := newTestEnv(t, 300)
+	c := New(env.ts.URL)
+
+	hz, err := c.Healthz()
+	if err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz = %+v, %v", hz, err)
+	}
+
+	sess := env.session(t, c)
+	if _, err := sess.Step(Token{Topic: 1, Payload: 1}, env.queries(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Contexts != 1 || st.OpenSessions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	found := false
+	for _, ep := range st.Endpoints {
+		if ep.Endpoint == "step" && ep.Requests == 1 && ep.Errors == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("step endpoint counter missing: %+v", st.Endpoints)
+	}
+}
+
+// TestConcurrentStepHammer drives concurrent Step traffic through the SDK
+// — several sessions, plus goroutines contending on the same session —
+// and is the race-detector gate for the v2 path end to end.
+func TestConcurrentStepHammer(t *testing.T) {
+	env := newTestEnv(t, 256)
+	c := New(env.ts.URL)
+
+	const sessions = 4
+	const stepsPer = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*2)
+
+	for i := 0; i < sessions; i++ {
+		sess := env.session(t, c)
+		// Two goroutines share each session: the server must serialize
+		// their mutating steps without tripping the race detector.
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(sess *Session, g int) {
+				defer wg.Done()
+				for n := 0; n < stepsPer; n++ {
+					if _, err := sess.Step(Token{Topic: 1, Payload: n + 1}, env.queries(n)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(sess, g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepReqs int64
+	for _, ep := range st.Endpoints {
+		if ep.Endpoint == "step" {
+			stepReqs = ep.Requests
+		}
+	}
+	if stepReqs != sessions*2*stepsPer {
+		t.Fatalf("step requests = %d, want %d", stepReqs, sessions*2*stepsPer)
+	}
+}
