@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving cover fuzz fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-batching cover fuzz fmt vet
 
 all: build vet test
 
@@ -50,6 +50,16 @@ bench-quant:
 SERVING_JSON ?= BENCH_PR5.json
 bench-serving:
 	$(GO) run ./cmd/alayabench -exp serving -context 512 -trials 3 -json $(SERVING_JSON)
+
+# Continuous-batching experiment: serial per-request v2 step (the PR 5
+# execution model) vs the scheduled step/steps/stream modes at 1/4/16
+# concurrent sessions, with the PR 6 perf artefact. Tiny model geometry
+# (1 layer x 2 GQA heads, context 64) keeps per-step attention compute
+# small so the measurement isolates serving overhead — wave batching and
+# round-trip amortization — which is what this experiment is about.
+BATCHING_JSON ?= BENCH_PR6.json
+bench-batching:
+	$(GO) run ./cmd/alayabench -exp batching -context 64 -layers 1 -qheads 2 -kvheads 1 -trials 5 -json $(BATCHING_JSON)
 
 # Coverage ratchet: fail if total statement coverage falls below COVER_MIN.
 COVER_MIN ?= 80.0

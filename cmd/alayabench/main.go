@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, or serving: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, or batching: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -89,8 +89,14 @@ func main() {
 				bench.WriteServingTable(d, os.Stdout)
 				data = d
 			}
+		case "batching":
+			var d *bench.BatchingReportData
+			if d, err = bench.BatchingReport(scale); err == nil {
+				bench.WriteBatchingTable(d, os.Stdout)
+				data = d
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, or serving")
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, or batching")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -57,9 +58,18 @@ func usage() {
 	os.Exit(2)
 }
 
+// client builds an SDK client for a daemon address.
+func client(baseURL string) (*alayaclient.Client, error) {
+	return alayaclient.NewClient(alayaclient.WithBaseURL(baseURL))
+}
+
 // health probes a live daemon through the SDK.
 func health(baseURL string) error {
-	hz, err := alayaclient.New(baseURL).Healthz()
+	cli, err := client(baseURL)
+	if err != nil {
+		return err
+	}
+	hz, err := cli.Healthz(context.Background())
 	if err != nil {
 		return err
 	}
@@ -71,7 +81,11 @@ func health(baseURL string) error {
 // stats dumps a live daemon's statistics — DB, tiers, quant plane and the
 // per-endpoint counters of the serving API.
 func stats(baseURL string) error {
-	st, err := alayaclient.New(baseURL).Stats()
+	cli, err := client(baseURL)
+	if err != nil {
+		return err
+	}
+	st, err := cli.Stats(context.Background())
 	if err != nil {
 		return err
 	}
@@ -90,6 +104,11 @@ func stats(baseURL string) error {
 	if st.SpillEnabled {
 		fmt.Printf("spill tier:     %d contexts, %d bytes, %d spills, %d/%d reload hit/miss\n",
 			st.SpilledContexts, st.SpilledBytes, st.Spills, st.ReloadHits, st.ReloadMisses)
+	}
+	if st.Sched != nil {
+		fmt.Printf("scheduler:      %d waves (avg %.1f, max %d of %d), %d admitted, %d rejected, queue %d/%d\n",
+			st.Sched.Waves, st.Sched.AvgWave, st.Sched.MaxWave, st.Sched.WaveSize,
+			st.Sched.Admitted, st.Sched.Rejected, st.Sched.QueueDepth, st.Sched.QueueCap)
 	}
 	if len(st.Endpoints) > 0 {
 		fmt.Printf("\n%-16s %9s %7s %10s %10s\n", "endpoint", "requests", "errors", "mean ms", "max ms")

@@ -49,6 +49,8 @@ func main() {
 		spillGB   = flag.Float64("spill-budget-gb", 0, "spill tier byte budget in GB; LRU spilled contexts are deleted over it (0 = unlimited)")
 		spillMB   = flag.Float64("spill-cache-mb", 64, "buffer pool capacity in MB for spilled-context block reads")
 		quant     = flag.Bool("quant-keys", false, "maintain an SQ8 (int8) key plane: retrieval and host attention score quantized keys with fp32 rerank; spilled key files shrink 4x (spill dirs are layout-specific)")
+		schedWave = flag.Int("sched-wave", 0, "continuous-batching wave size: decode steps from up to this many sessions execute as one fused fan-out over the worker pool (0 = pool size, negative = scheduler off: serial per-request decode)")
+		schedQ    = flag.Int("sched-queue", serve.DefaultQueueDepth, "bounded admission queue for decode steps; requests beyond it are rejected with 429 overloaded")
 	)
 	flag.Parse()
 
@@ -85,13 +87,21 @@ func main() {
 
 	srv := serve.NewServer(db,
 		serve.WithShards(*shards),
-		serve.WithMaxBodyBytes(int64(*maxBodyMB*(1<<20))))
+		serve.WithMaxBodyBytes(int64(*maxBodyMB*(1<<20))),
+		serve.WithWaveSize(*schedWave),
+		serve.WithQueueDepth(*schedQ))
 	keyPlane := "fp32"
 	if *quant {
 		keyPlane = "sq8+fp32 rerank"
 	}
 	log.Printf("alayad: serving attention on %s (model %dL x %dQ x %dKV x d%d, pool %d, %d shards, keys %s)",
 		*addr, cfg.Layers, cfg.QHeads, cfg.KVHeads, cfg.HeadDim, workPool.Size(), *shards, keyPlane)
+	if sched := srv.Service().Scheduler(); sched != nil {
+		sst := sched.Stats()
+		log.Printf("alayad: decode scheduler: wave %d, queue %d", sst.WaveSize, sst.QueueCap)
+	} else {
+		log.Printf("alayad: decode scheduler: off (serial per-request decode)")
+	}
 	if *spillDir != "" {
 		ts := db.TierStats()
 		log.Printf("alayad: spill tier at %s (budget %.2f GB, %d contexts recovered)",

@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"net/http/httptest"
 
@@ -64,14 +66,18 @@ func main() {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.Close()
-	cli := alayaclient.New(ts.URL)
-
-	// A new request over the same prompts reuses everything: no prefill.
-	sess, err := cli.CreateSession(inst.Doc)
+	cli, err := alayaclient.NewClient(alayaclient.WithBaseURL(ts.URL))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sess.Close()
+	ctx := context.Background()
+
+	// A new request over the same prompts reuses everything: no prefill.
+	sess, err := cli.CreateSession(ctx, inst.Doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.CloseSession(ctx)
 	fmt.Printf("session reuses %d tokens (no prefill needed)\n", sess.Reused)
 
 	// One decode step, ONE round trip: ship the generated token plus every
@@ -87,7 +93,7 @@ func main() {
 	}
 	// The ingested token is the engine's previously generated one (here: a
 	// neutral continuation token, so the planted needle stays the signal).
-	step, err := sess.Step(inst.Doc.Tokens[inst.Doc.Len()-1], queries)
+	step, err := sess.Step(ctx, inst.Doc.Tokens[inst.Doc.Len()-1], queries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,8 +109,34 @@ func main() {
 	answer := m.DecodeAnswer(outputs)
 	fmt.Printf("decoded answer: payload %d (want %d) — %v\n", answer, inst.Answer, answer == inst.Answer)
 
-	// The stats endpoint shows what one v2 step cost the serving layer.
-	st, err := cli.Stats()
+	// Decode three more tokens through the streaming batch API: the batch
+	// goes up in one request and each response comes back the moment its
+	// decode wave completes, so a real engine would already be computing
+	// the next token's queries while later steps are still in flight.
+	var steps []alayaclient.StepRequest
+	for i := 0; i < 3; i++ {
+		steps = append(steps, alayaclient.StepRequest{
+			Token: inst.Doc.Tokens[inst.Doc.Len()-1], Queries: queries})
+	}
+	stream, err := sess.StepStream(ctx, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+	for {
+		resp, err := stream.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("streamed step: context now %d tokens\n", resp.ContextLen)
+	}
+
+	// The stats endpoint shows what the decode traffic cost the serving
+	// layer, including the continuous-batching scheduler's wave counters.
+	st, err := cli.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -48,14 +49,24 @@ type ServingReportData struct {
 	SpeedupBinaryStepVsV1 float64 `json:"speedup_binary_step_vs_v1"`
 }
 
+// mustClient builds an SDK client for the loopback test server; the base
+// URL is known-valid so construction cannot fail.
+func mustClient(base string, opts ...alayaclient.Option) *alayaclient.Client {
+	cli, err := alayaclient.NewClient(append([]alayaclient.Option{alayaclient.WithBaseURL(base)}, opts...)...)
+	if err != nil {
+		panic(err)
+	}
+	return cli
+}
+
 // servingSession opens a fully reusing session through the SDK.
-func servingSession(cli *alayaclient.Client, doc *model.Document) (*alayaclient.Session, error) {
-	sess, err := cli.CreateSession(doc)
+func servingSession(ctx context.Context, cli *alayaclient.Client, doc *model.Document) (*alayaclient.Session, error) {
+	sess, err := cli.CreateSession(ctx, doc)
 	if err != nil {
 		return nil, err
 	}
 	if sess.Reused != doc.Len() {
-		sess.Close()
+		sess.CloseSession(ctx)
 		return nil, fmt.Errorf("serving: session reused %d of %d tokens", sess.Reused, doc.Len())
 	}
 	return sess, nil
@@ -128,13 +139,14 @@ func ServingReport(s Scale) (*ServingReportData, error) {
 	// measure runs one protocol mode over a fresh session: warm once
 	// untimed (connection setup plus server-side arena pools), then decode
 	// every token through the timed loop.
+	ctx := context.Background()
 	measure := func(name string, rtPerToken float64, cli *alayaclient.Client,
 		warm, run func(sess *alayaclient.Session) error) error {
-		sess, err := servingSession(cli, inst.Doc)
+		sess, err := servingSession(ctx, cli, inst.Doc)
 		if err != nil {
 			return err
 		}
-		defer sess.Close()
+		defer sess.CloseSession(ctx)
 		if err := warm(sess); err != nil {
 			return fmt.Errorf("serving: %s warm: %w", name, err)
 		}
@@ -153,31 +165,31 @@ func ServingReport(s Scale) (*ServingReportData, error) {
 
 	// Warm closures: one untimed decode step in each mode's own shape.
 	warmV1 := func(sess *alayaclient.Session) error {
-		if _, err := sess.Update(tok); err != nil {
+		if _, err := sess.Update(ctx, tok); err != nil {
 			return err
 		}
 		for l := 0; l < mc.Layers; l++ {
-			if _, err := sess.AttentionAll(l, queries[0][l]); err != nil {
+			if _, err := sess.AttentionAll(ctx, l, queries[0][l]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	warmStep := func(sess *alayaclient.Session) error {
-		_, err := sess.Step(tok, queries[0])
+		_, err := sess.Step(ctx, tok, queries[0])
 		return err
 	}
 
 	// v1: one update plus one attention_all per layer, all JSON — the
 	// protocol this PR retires from the decode hot path.
-	err = measure("v1/json-per-layer", float64(1+mc.Layers), alayaclient.New(ts.URL, alayaclient.WithJSON()), warmV1,
+	err = measure("v1/json-per-layer", float64(1+mc.Layers), mustClient(ts.URL, alayaclient.WithJSONWire()), warmV1,
 		func(sess *alayaclient.Session) error {
 			for i := 0; i < tokens; i++ {
-				if _, err := sess.Update(tok); err != nil {
+				if _, err := sess.Update(ctx, tok); err != nil {
 					return err
 				}
 				for l := 0; l < mc.Layers; l++ {
-					if _, err := sess.AttentionAll(l, queries[i][l]); err != nil {
+					if _, err := sess.AttentionAll(ctx, l, queries[i][l]); err != nil {
 						return err
 					}
 				}
@@ -189,10 +201,10 @@ func ServingReport(s Scale) (*ServingReportData, error) {
 	}
 
 	// v2 step over JSON: the round-trip saving alone.
-	err = measure("v2/json-step", 1, alayaclient.New(ts.URL, alayaclient.WithJSON()), warmStep,
+	err = measure("v2/json-step", 1, mustClient(ts.URL, alayaclient.WithJSONWire()), warmStep,
 		func(sess *alayaclient.Session) error {
 			for i := 0; i < tokens; i++ {
-				if _, err := sess.Step(tok, queries[i]); err != nil {
+				if _, err := sess.Step(ctx, tok, queries[i]); err != nil {
 					return err
 				}
 			}
@@ -203,10 +215,10 @@ func ServingReport(s Scale) (*ServingReportData, error) {
 	}
 
 	// v2 step over the binary frame wire: round trips and codec both fixed.
-	err = measure("v2/binary-step", 1, alayaclient.New(ts.URL), warmStep,
+	err = measure("v2/binary-step", 1, mustClient(ts.URL), warmStep,
 		func(sess *alayaclient.Session) error {
 			for i := 0; i < tokens; i++ {
-				if _, err := sess.Step(tok, queries[i]); err != nil {
+				if _, err := sess.Step(ctx, tok, queries[i]); err != nil {
 					return err
 				}
 			}
@@ -218,14 +230,14 @@ func ServingReport(s Scale) (*ServingReportData, error) {
 
 	// v2 batched steps: N tokens amortized per round trip (speculative /
 	// draft-token serving shape).
-	err = measure(fmt.Sprintf("v2/binary-steps%d", batchSize), 1.0/batchSize, alayaclient.New(ts.URL), warmStep,
+	err = measure(fmt.Sprintf("v2/binary-steps%d", batchSize), 1.0/batchSize, mustClient(ts.URL), warmStep,
 		func(sess *alayaclient.Session) error {
 			for i := 0; i < tokens; i += batchSize {
 				reqs := make([]alayaclient.StepRequest, batchSize)
 				for j := range reqs {
 					reqs[j] = alayaclient.StepRequest{Token: tok, Queries: queries[i+j]}
 				}
-				if _, err := sess.Steps(reqs); err != nil {
+				if _, err := sess.Steps(ctx, reqs); err != nil {
 					return err
 				}
 			}

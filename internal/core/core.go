@@ -194,6 +194,10 @@ func (db *DB) QuantStats() metrics.QuantSnapshot { return db.quant.Snapshot() }
 // Device returns the DB's device accountant.
 func (db *DB) Device() *devmem.Device { return db.cfg.Device }
 
+// Pool returns the worker pool the DB fans compute across. Serving layers
+// size their decode waves against it (StepWave).
+func (db *DB) Pool() *pool.Pool { return db.cfg.Pool }
+
 // Window returns the configured device window.
 func (db *DB) Window() attention.Window { return db.cfg.Window }
 

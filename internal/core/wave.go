@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/pool"
+)
+
+// This file is the cross-session decode primitive behind the serving
+// layer's continuous-batching scheduler: where step.go collapses one
+// session's decode step into a single fan-out, StepWave collapses the
+// steps of *many* sessions into one. A wave of W single-token steps on a
+// model with L layers and H query heads is one W×L×H task set over the
+// worker pool — so the pool saturates even when every tenant decodes at
+// batch size 1, which is exactly the multi-tenant serving shape the
+// decoupled-attention architecture targets.
+
+// StepItem is one session's contribution to a decode wave: the generated
+// token to ingest plus the full [layer][head] query grid and the result
+// block to fill. Sess must be exclusively held by the caller for the
+// duration of the wave (the serving layer's session lock), and distinct
+// items must name distinct sessions.
+type StepItem struct {
+	Sess    *Session
+	Token   model.Token
+	Queries [][][]float32
+	Out     [][]AttentionResult
+}
+
+// StepWave runs one decode step for every item as a single shared
+// fan-out over p. Semantically each item is exactly item.Sess.StepInto —
+// ingest the token, then attention for every layer and head — and each
+// item's results are bitwise-identical to the serial call on an
+// unconstrained device (the same determinism contract, and caveat under
+// a tight device budget, as AttentionAllLayersInto). The difference is
+// scheduling: all items' tokens ingest concurrently, then every
+// (item, layer, head) attention task competes for the same pool slots,
+// so a straggling session no longer leaves workers idle between steps.
+//
+// All items must share the DB's model geometry; per-item query grids are
+// validated with the same panics StepInto raises. An empty wave is a
+// no-op.
+func StepWave(p *pool.Pool, items []StepItem) {
+	switch len(items) {
+	case 0:
+		return
+	case 1:
+		// One tenant: identical to the serial step, no wave machinery.
+		items[0].Sess.StepInto(items[0].Token, items[0].Queries, items[0].Out)
+		return
+	}
+
+	layers := len(items[0].Queries)
+	heads := 0
+	if layers > 0 {
+		heads = len(items[0].Queries[0])
+	}
+	for i := range items {
+		it := &items[i]
+		if len(it.Queries) != layers {
+			panic(fmt.Sprintf("core: StepWave item %d has %d query layers, item 0 has %d", i, len(it.Queries), layers))
+		}
+		if len(it.Out) != layers {
+			panic(fmt.Sprintf("core: StepWave item %d got %d result rows for %d layers", i, len(it.Out), layers))
+		}
+		for l := range it.Queries {
+			if len(it.Queries[l]) != heads {
+				panic(fmt.Sprintf("core: StepWave item %d layer %d has %d heads, want %d", i, l, len(it.Queries[l]), heads))
+			}
+			if len(it.Out[l]) != heads {
+				panic(fmt.Sprintf("core: StepWave item %d layer %d got %d result slots for %d heads", i, l, len(it.Out[l]), heads))
+			}
+		}
+	}
+
+	// Phase 1: ingest every item's token. Sessions are distinct, so the
+	// per-item work is independent; each AppendToken fans its own
+	// per-layer ingest, which nests safely (a saturated pool degrades to
+	// inline execution).
+	p.ForEach(len(items), func(i int) {
+		items[i].Sess.AppendToken(items[i].Token)
+	})
+
+	// Phase 2: one combined fan-out over items×layers×heads, one pooled
+	// decode state per worker for the whole wave.
+	per := layers * heads
+	n := len(items) * per
+	if n == 0 {
+		return
+	}
+	if p.Size() == 0 || n == 1 {
+		ds := getDecodeState()
+		for i := range items {
+			it := &items[i]
+			for l := 0; l < layers; l++ {
+				for h := 0; h < heads; h++ {
+					it.Sess.attentionInto(ds, l, h, it.Queries[l][h], &it.Out[l][h])
+				}
+			}
+		}
+		putDecodeState(ds)
+		return
+	}
+	p.ForEachScratch(n, getDecodeStateAny, putDecodeStateAny,
+		func(sc interface{}, i int) {
+			it := &items[i/per]
+			r := i % per
+			l, h := r/heads, r%heads
+			it.Sess.attentionInto(sc.(*decodeState), l, h, it.Queries[l][h], &it.Out[l][h])
+		})
+}

@@ -21,6 +21,7 @@ const (
 	EPAttentionAll
 	EPStep
 	EPSteps
+	EPStepStream
 	EPStore
 	EPCloseSession
 	EPStats
@@ -36,6 +37,7 @@ var endpointNames = [numEndpoints]string{
 	"attention_all",
 	"step",
 	"steps",
+	"step_stream",
 	"store",
 	"close_session",
 	"stats",

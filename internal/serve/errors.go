@@ -26,6 +26,10 @@ const (
 	// KindUnsupportedMedia marks a request body in a codec the server
 	// does not speak.
 	KindUnsupportedMedia Kind = "unsupported_media"
+	// KindOverloaded marks a request shed by admission control: the
+	// decode scheduler's bounded queue is full (or shutting down) and the
+	// client should back off and retry.
+	KindOverloaded Kind = "overloaded"
 	// KindInternal marks a server-side failure.
 	KindInternal Kind = "internal"
 )
@@ -60,6 +64,7 @@ var (
 	ErrMethodNotAllowed = &Error{Kind: KindMethodNotAllowed}
 	ErrTooLarge         = &Error{Kind: KindTooLarge}
 	ErrUnsupportedMedia = &Error{Kind: KindUnsupportedMedia}
+	ErrOverloaded       = &Error{Kind: KindOverloaded}
 	ErrInternal         = &Error{Kind: KindInternal}
 )
 
@@ -82,6 +87,11 @@ func Conflictf(format string, args ...interface{}) *Error {
 	return errf(KindConflict, format, args...)
 }
 
+// Overloadedf builds a KindOverloaded error.
+func Overloadedf(format string, args ...interface{}) *Error {
+	return errf(KindOverloaded, format, args...)
+}
+
 // Internalf builds a KindInternal error.
 func Internalf(format string, args ...interface{}) *Error {
 	return errf(KindInternal, format, args...)
@@ -102,6 +112,8 @@ func HTTPStatus(kind Kind) int {
 		return http.StatusRequestEntityTooLarge
 	case KindUnsupportedMedia:
 		return http.StatusUnsupportedMediaType
+	case KindOverloaded:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

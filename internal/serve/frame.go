@@ -62,6 +62,11 @@ const (
 	FrameStepResponse
 	FrameStepsRequest
 	FrameStepsResponse
+	// FrameStreamItem wraps one complete inner frame as an element of a
+	// step_stream response; FrameStreamEnd terminates the stream. See
+	// stream.go for the streaming layouts.
+	FrameStreamItem
+	FrameStreamEnd
 )
 
 const frameHeaderLen = 12

@@ -1,0 +1,634 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/workload"
+)
+
+// schedService builds a Service over its own DB with an explicit worker
+// pool and serve options — the scheduler-focused sibling of testService.
+func schedService(t *testing.T, p *pool.Pool, opts ...Option) (*Service, *model.Model) {
+	t.Helper()
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Window:        attention.Window{Sinks: 4, Recent: 16},
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       2,
+		Pool:          p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(db, opts...)
+	t.Cleanup(func() {
+		svc.Close()
+		db.Close()
+	})
+	return svc, m
+}
+
+// cloneStep deep-copies a StepResponse so it survives Release.
+func cloneStep(r *StepResponse) *StepResponse {
+	out := &StepResponse{ContextLen: r.ContextLen, Layers: make([][]AttentionResponse, len(r.Layers))}
+	for l := range r.Layers {
+		out.Layers[l] = make([]AttentionResponse, len(r.Layers[l]))
+		for h := range r.Layers[l] {
+			a := r.Layers[l][h]
+			a.Output = append([]float32(nil), a.Output...)
+			out.Layers[l][h] = a
+		}
+	}
+	return out
+}
+
+// diffStep reports the first bitwise difference between two step
+// responses, or nil if identical. Safe to call off the test goroutine.
+func diffStep(label string, got, want *StepResponse) error {
+	if got.ContextLen != want.ContextLen {
+		return fmt.Errorf("%s: context len %d vs %d", label, got.ContextLen, want.ContextLen)
+	}
+	for l := range want.Layers {
+		for h := range want.Layers[l] {
+			g, w := got.Layers[l][h], want.Layers[l][h]
+			if g.Plan != w.Plan || g.Retrieved != w.Retrieved || g.Attended != w.Attended {
+				return fmt.Errorf("%s L%dH%d metadata: %+v vs %+v", label, l, h, g, w)
+			}
+			if len(g.Output) != len(w.Output) {
+				return fmt.Errorf("%s L%dH%d dims %d vs %d", label, l, h, len(g.Output), len(w.Output))
+			}
+			for i := range w.Output {
+				if g.Output[i] != w.Output[i] {
+					return fmt.Errorf("%s L%dH%d output[%d]: %x vs %x", label, l, h, i, g.Output[i], w.Output[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// newSchedSession creates and prefills one session for doc.
+func newSchedSession(t *testing.T, svc *Service, doc *model.Document) int64 {
+	t.Helper()
+	created, err := svc.CreateSession(&CreateSessionRequest{Seed: doc.Seed, Tokens: doc.Tokens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Prefill(created.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	return created.SessionID
+}
+
+// TestSchedulerBitwiseIdentityHammer is the correctness gate of the
+// continuous-batching scheduler: N sessions hammering Step concurrently
+// through shared decode waves must produce, per session and step, outputs
+// bitwise-identical to the serial direct path, with strictly FIFO
+// per-session context growth. Run under -race this is also the
+// scheduler's data-race gate.
+func TestSchedulerBitwiseIdentityHammer(t *testing.T) {
+	svc, m := schedService(t, pool.Default(), WithWaveSize(3))
+	mc := m.Config()
+	const sessions = 4
+	const stepsPer = 5
+
+	type stream struct {
+		doc      *model.Document
+		topics   []int
+		expected []*StepResponse
+		id       int64
+	}
+	streams := make([]*stream, sessions)
+	for i := range streams {
+		p, _ := workload.ProfileByName("Retr.P")
+		inst := workload.Generate(p, uint64(40+i), 300, 64, 32)
+		streams[i] = &stream{doc: inst.Doc, topics: inst.Question}
+	}
+
+	// Expected outputs: the serial scheduler-less path, one session per
+	// stream, decoded strictly in order.
+	for _, st := range streams {
+		id := newSchedSession(t, svc, st.doc)
+		for n := 0; n < stepsPer; n++ {
+			req := &StepRequest{Token: model.Token{Topic: 1, Payload: n + 1},
+				Queries: stepQueriesFor(m, st.doc, st.topics, n)}
+			resp, err := svc.stepDirect(id, req, mc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.expected = append(st.expected, cloneStep(resp))
+			resp.Release()
+		}
+		if _, err := svc.CloseSession(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hammer: every stream decodes the same sequence concurrently through
+	// the scheduler; waves mix the sessions.
+	for _, st := range streams {
+		st.id = newSchedSession(t, svc, st.doc)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for si, st := range streams {
+		wg.Add(1)
+		go func(si int, st *stream) {
+			defer wg.Done()
+			for n := 0; n < stepsPer; n++ {
+				req := &StepRequest{Token: model.Token{Topic: 1, Payload: n + 1},
+					Queries: stepQueriesFor(m, st.doc, st.topics, n)}
+				resp, err := svc.Step(st.id, req)
+				if err != nil {
+					errs <- fmt.Errorf("stream %d step %d: %w", si, n, err)
+					return
+				}
+				if resp.ContextLen != st.doc.Len()+n+1 {
+					errs <- fmt.Errorf("stream %d step %d: context %d, want %d (FIFO violated)",
+						si, n, resp.ContextLen, st.doc.Len()+n+1)
+					return
+				}
+				got := cloneStep(resp)
+				resp.Release()
+				if derr := diffStep(fmt.Sprintf("stream %d step %d", si, n), got, st.expected[n]); derr != nil {
+					errs <- derr
+					return
+				}
+			}
+		}(si, st)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Only the hammer phase is scheduled; the expected outputs came from
+	// the direct path.
+	st := svc.sched.Stats()
+	if st.Items != int64(sessions*stepsPer) {
+		t.Fatalf("scheduler executed %d items, want %d", st.Items, sessions*stepsPer)
+	}
+	if st.Admitted != st.Items || st.Rejected != 0 {
+		t.Fatalf("scheduler counters = %+v", st)
+	}
+	if st.MaxWave > 3 {
+		t.Fatalf("wave of %d items exceeds configured size 3", st.MaxWave)
+	}
+}
+
+// TestStepStreamOverlap pins the streaming contract with a deterministic
+// wave boundary: the first step's response reaches the sink while the
+// scheduler has executed exactly one of the batch's three steps — i.e.
+// streaming delivers results strictly before the batch completes.
+func TestStepStreamOverlap(t *testing.T) {
+	svc, m := schedService(t, pool.Default(), WithWaveSize(2))
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 7, 300, 64, 32)
+	id := newSchedSession(t, svc, inst.Doc)
+
+	gate := make(chan struct{})
+	svc.sched.waveGate = func(wave int) {
+		if wave == 0 {
+			<-gate
+		}
+	}
+
+	const steps = 3
+	req := &StepsRequest{Steps: make([]StepRequest, steps)}
+	for i := range req.Steps {
+		req.Steps[i] = StepRequest{Token: model.Token{Topic: 1, Payload: i + 1},
+			Queries: stepQueriesFor(m, inst.Doc, inst.Question, i)}
+	}
+
+	type arrival struct {
+		ctxLen    int
+		itemsDone int64 // scheduler items executed when this response arrived
+	}
+	arrivals := make(chan arrival, steps)
+	done := make(chan error, 1)
+	go func() {
+		done <- svc.StepStream(context.Background(), id, req, func(resp *StepResponse) error {
+			arrivals <- arrival{resp.ContextLen, svc.sched.Stats().Items}
+			return nil
+		})
+	}()
+
+	first := <-arrivals
+	if first.ctxLen != inst.Doc.Len()+1 {
+		t.Fatalf("first streamed response has context %d, want %d", first.ctxLen, inst.Doc.Len()+1)
+	}
+	if first.itemsDone != 1 {
+		t.Fatalf("first response arrived after %d executed steps, want 1 (no overlap)", first.itemsDone)
+	}
+	close(gate) // release the remaining waves
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < steps; i++ {
+		a := <-arrivals
+		if a.ctxLen != inst.Doc.Len()+i+1 {
+			t.Fatalf("streamed response %d has context %d (order broken)", i, a.ctxLen)
+		}
+	}
+}
+
+// TestStepStreamHTTPOverlap proves the same overlap end to end over the
+// wire: with the dispatcher gated after the first wave, the client reads
+// the first binary frame off the chunked response while two of the
+// batch's three steps have not executed yet.
+func TestStepStreamHTTPOverlap(t *testing.T) {
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Window:        attention.Window{Sinks: 4, Recent: 16},
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db, WithWaveSize(2))
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+		db.Close()
+	}()
+	svc := srv.Service()
+
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 11, 300, 64, 32)
+	id := newSchedSession(t, svc, inst.Doc)
+
+	gate := make(chan struct{})
+	released := false
+	svc.sched.waveGate = func(wave int) {
+		if wave == 0 {
+			<-gate
+		}
+	}
+
+	const steps = 3
+	req := &StepsRequest{Steps: make([]StepRequest, steps)}
+	for i := range req.Steps {
+		req.Steps[i] = StepRequest{Token: model.Token{Topic: 1, Payload: i + 1},
+			Queries: stepQueriesFor(m, inst.Doc, inst.Question, i)}
+	}
+	body, err := MarshalFrame(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, _ := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("%s/v1/sessions/%d/step_stream", ts.URL, id), bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", FrameContentType)
+	hreq.Header.Set("Accept", FrameContentType)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != FrameContentType {
+		t.Fatalf("step_stream response: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	sc := NewStreamScanner(resp.Body)
+	got := 0
+	for {
+		kind, payload, err := sc.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == FrameStreamEnd {
+			items, env, err := DecodeStreamEnd(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if env.Error != "" || items != steps {
+				t.Fatalf("stream end = %d items, env %+v", items, env)
+			}
+			break
+		}
+		if kind != FrameStreamItem {
+			t.Fatalf("unexpected frame kind %d", kind)
+		}
+		var step StepResponse
+		if err := UnmarshalFrame(payload, &step); err != nil {
+			t.Fatal(err)
+		}
+		if step.ContextLen != inst.Doc.Len()+got+1 {
+			t.Fatalf("frame %d has context %d (order broken)", got, step.ContextLen)
+		}
+		got++
+		if got == 1 {
+			// The first frame crossed the wire while the dispatcher is
+			// still gated: the batch's later steps have not run.
+			if items := svc.sched.Stats().Items; items != 1 {
+				t.Fatalf("first frame arrived after %d executed steps, want 1", items)
+			}
+			released = true
+			close(gate)
+		}
+	}
+	if got != steps || !released {
+		t.Fatalf("received %d frames (released=%v), want %d", got, released, steps)
+	}
+}
+
+// TestSchedulerBackpressure fills the bounded admission queue while the
+// dispatcher is gated and checks the typed overloaded rejection: singles
+// and whole batches are refused atomically with ErrOverloaded (HTTP 429),
+// and nothing partially enqueues.
+func TestSchedulerBackpressure(t *testing.T) {
+	svc, m := schedService(t, pool.Default(), WithWaveSize(1), WithQueueDepth(2))
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 5, 300, 64, 32)
+	id := newSchedSession(t, svc, inst.Doc)
+	mkStep := func(n int) StepRequest {
+		return StepRequest{Token: model.Token{Topic: 1, Payload: n + 1},
+			Queries: stepQueriesFor(m, inst.Doc, inst.Question, n)}
+	}
+
+	gate := make(chan struct{})
+	svc.sched.waveGate = func(wave int) {
+		if wave == 0 {
+			<-gate
+		}
+	}
+
+	// Wave 0 executes immediately; afterwards the dispatcher blocks in the
+	// gate and everything below queues without being drained.
+	first := mkStep(0)
+	if resp, err := svc.Step(id, &first); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Release()
+	}
+
+	// Fill the queue to its cap of 2 with a direct batch submit (admission
+	// is synchronous even though execution is gated).
+	queued := []StepRequest{mkStep(1), mkStep(2)}
+	ch := make(chan *stepJob, len(queued))
+	var canceled atomic.Bool
+	if serr := svc.sched.SubmitBatch(id, queued, ch, &canceled); serr != nil {
+		t.Fatal(serr)
+	}
+	if d := svc.sched.Stats().QueueDepth; d != 2 {
+		t.Fatalf("queue depth = %d, want 2", d)
+	}
+
+	// A single step over a full queue: typed overloaded error, 429.
+	if _, err := svc.Step(id, &first); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("step over full queue: %v, want ErrOverloaded", err)
+	} else if HTTPStatus(Envelope(err).Kind) != http.StatusTooManyRequests {
+		t.Fatalf("overloaded status = %d", HTTPStatus(Envelope(err).Kind))
+	}
+
+	// A whole batch over a full queue: rejected atomically — the queue
+	// depth does not move.
+	err := svc.StepStream(context.Background(), id, &StepsRequest{Steps: []StepRequest{mkStep(3), mkStep(4)}},
+		func(*StepResponse) error { t.Error("sink called for a rejected batch"); return nil })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch over full queue: %v, want ErrOverloaded", err)
+	}
+	if d := svc.sched.Stats().QueueDepth; d != 2 {
+		t.Fatalf("queue depth after atomic rejection = %d, want 2", d)
+	}
+
+	close(gate)
+	for range queued {
+		j := <-ch
+		if j.err != nil {
+			t.Fatal(j.err)
+		}
+		j.resp.Release()
+		putStepJob(j)
+	}
+
+	st := svc.sched.Stats()
+	if st.Admitted != 3 || st.Rejected != 3 || st.Items != 3 {
+		t.Fatalf("scheduler counters = %+v", st)
+	}
+}
+
+// TestStepStreamSinkErrorAbandonsTail: a failing sink cancels the rest of
+// the batch — the remaining steps are drained without decoding, and the
+// session's context shows only the executed prefix.
+func TestStepStreamSinkErrorAbandonsTail(t *testing.T) {
+	svc, m := schedService(t, pool.Default(), WithWaveSize(1))
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 9, 300, 64, 32)
+	id := newSchedSession(t, svc, inst.Doc)
+
+	// Gate the dispatcher after the first wave so cancellation is visible
+	// before any later step can decode.
+	gate := make(chan struct{})
+	svc.sched.waveGate = func(wave int) {
+		if wave == 0 {
+			<-gate
+		}
+	}
+
+	req := &StepsRequest{Steps: make([]StepRequest, 4)}
+	for i := range req.Steps {
+		req.Steps[i] = StepRequest{Token: model.Token{Topic: 1, Payload: i + 1},
+			Queries: stepQueriesFor(m, inst.Doc, inst.Question, i)}
+	}
+	sinkErr := errors.New("sink full")
+	calls := 0
+	sinkDone := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- svc.StepStream(context.Background(), id, req, func(*StepResponse) error {
+			calls++
+			close(sinkDone)
+			return sinkErr
+		})
+	}()
+	<-sinkDone
+	// The collector sets the cancel flag immediately after the sink
+	// returns; the pause dwarfs those two instructions before the gated
+	// dispatcher is allowed to look at the flag.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+
+	if err := <-done; !errors.Is(err, sinkErr) {
+		t.Fatalf("stream err = %v, want the sink error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times after failing, want 1", calls)
+	}
+
+	// Only the first step decoded; the abandoned tail never touched the
+	// session. The update token is the +1 probe.
+	resp, err := svc.Update(id, &UpdateRequest{Token: model.Token{Topic: 1, Payload: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ContextLen != inst.Doc.Len()+2 {
+		t.Fatalf("context %d, want %d: abandoned tail was decoded", resp.ContextLen, inst.Doc.Len()+2)
+	}
+}
+
+// TestStepsBoundTyped: oversized batches are refused up front with the
+// typed invalid-argument error — before any proportional allocation — on
+// both the buffered and streaming paths.
+func TestStepsBoundTyped(t *testing.T) {
+	svc, m := schedService(t, pool.Default(), WithMaxSteps(2))
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 13, 300, 64, 32)
+	id := newSchedSession(t, svc, inst.Doc)
+
+	req := &StepsRequest{Steps: make([]StepRequest, 3)}
+	for i := range req.Steps {
+		req.Steps[i] = StepRequest{Token: model.Token{Topic: 1, Payload: i + 1},
+			Queries: stepQueriesFor(m, inst.Doc, inst.Question, i)}
+	}
+	if _, err := svc.Steps(id, req); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized Steps err = %v, want ErrBadRequest", err)
+	}
+	err := svc.StepStream(context.Background(), id, req, func(*StepResponse) error { return nil })
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized StepStream err = %v, want ErrBadRequest", err)
+	}
+	// At the bound is fine.
+	ok := &StepsRequest{Steps: req.Steps[:2]}
+	resp, err := svc.Steps(id, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Release()
+}
+
+// TestSchedulerSteadyStateAllocs guards the hot decode loop: once pools
+// are warm, a scheduled step allocates no more than the serial direct
+// path plus a small constant for the wave machinery.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	// A serial pool keeps the fan-out on the calling goroutine so the
+	// measurement excludes worker-pool scheduling noise.
+	svc, m := schedService(t, pool.Serial())
+	mc := m.Config()
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 21, 300, 64, 32)
+	directID := newSchedSession(t, svc, inst.Doc)
+	schedID := newSchedSession(t, svc, inst.Doc)
+	req := &StepRequest{Token: model.Token{Topic: 1, Payload: 1},
+		Queries: stepQueriesFor(m, inst.Doc, inst.Question, 0)}
+
+	// Warm both paths' pools.
+	for i := 0; i < 8; i++ {
+		r1, err := svc.stepDirect(directID, req, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1.Release()
+		r2, err := svc.Step(schedID, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Release()
+	}
+
+	direct := testing.AllocsPerRun(50, func() {
+		resp, err := svc.stepDirect(directID, req, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	})
+	sched := testing.AllocsPerRun(50, func() {
+		resp, err := svc.Step(schedID, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Release()
+	})
+	// The scheduled path may pay a handful of allocations for channel ops
+	// and wave bookkeeping, but must not allocate per layer, head, or
+	// queued byte beyond the serial path.
+	if sched > direct+6 {
+		t.Fatalf("scheduled step allocates %.1f/op vs serial %.1f/op — wave loop is allocating", sched, direct)
+	}
+}
+
+// TestSchedulerShutdownDrains: closing the service fails queued work with
+// the typed shutdown error instead of hanging or dropping it.
+func TestSchedulerShutdownDrains(t *testing.T) {
+	svc, m := schedService(t, pool.Default(), WithWaveSize(1), WithQueueDepth(8))
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, 23, 300, 64, 32)
+	id := newSchedSession(t, svc, inst.Doc)
+
+	gate := make(chan struct{})
+	svc.sched.waveGate = func(wave int) {
+		if wave == 0 {
+			<-gate
+		}
+	}
+	first := StepRequest{Token: model.Token{Topic: 1, Payload: 1},
+		Queries: stepQueriesFor(m, inst.Doc, inst.Question, 0)}
+	if resp, err := svc.Step(id, &first); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Release()
+	}
+
+	// Queue two steps behind the gate, then close while they wait.
+	ch := make(chan *stepJob, 2)
+	var canceled atomic.Bool
+	if serr := svc.sched.SubmitBatch(id, []StepRequest{first, first}, ch, &canceled); serr != nil {
+		t.Fatal(serr)
+	}
+	closed := make(chan struct{})
+	go func() {
+		svc.sched.Close()
+		close(closed)
+	}()
+	close(gate)
+	for i := 0; i < 2; i++ {
+		j := <-ch
+		// Either the dispatcher squeezed the job into a final wave before
+		// observing close, or it drained with the shutdown error.
+		if j.err != nil && !errors.Is(j.err, ErrOverloaded) {
+			t.Fatalf("drained job err = %v", j.err)
+		}
+		if j.resp != nil {
+			j.resp.Release()
+		}
+		putStepJob(j)
+	}
+	<-closed
+
+	// Submits after close are refused outright.
+	if _, err := svc.Step(id, &first); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("step after close: %v, want ErrOverloaded", err)
+	}
+}

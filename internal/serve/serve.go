@@ -22,6 +22,7 @@
 //	POST   /v1/sessions/{id}/attention_all v1   compute every head of a layer
 //	POST   /v1/sessions/{id}/step          v2   ingest a token + attention for all layers×heads
 //	POST   /v1/sessions/{id}/steps         v2   batch of N steps in one round trip
+//	POST   /v1/sessions/{id}/step_stream   v2   batch of N steps, one streamed frame per step
 //	POST   /v1/sessions/{id}/store         v1   persist as a reusable context
 //	DELETE /v1/sessions/{id}               v1   close the session
 //	GET    /v1/stats                       v1   DB + endpoint statistics
@@ -29,7 +30,20 @@
 //
 // The v1 surface is kept for compatibility; a v2 engine decodes one token
 // per round trip through step (or N per round trip through steps), where
-// v1 needed 1 + Layers round trips per token.
+// v1 needed 1 + Layers round trips per token. step_stream is steps with
+// streamed delivery: each StepResponse goes on the wire — its own binary
+// frame, flushed — the moment its decode wave completes, so the engine
+// overlaps reading step N with the service decoding step N+1.
+//
+// # Continuous batching
+//
+// step and step_stream work is not executed per-request: it is admitted
+// to a cross-session Scheduler (scheduler.go) that batches the head step
+// of up to -sched-wave sessions into one shared decode wave
+// (core.StepWave), saturating the worker pool even when every tenant
+// decodes at batch size 1. Admission is bounded (-sched-queue); overflow
+// is rejected with the typed overloaded error (HTTP 429). Per-session
+// order stays FIFO and outputs stay bitwise-identical to serial steps.
 //
 // # Codecs
 //
@@ -93,14 +107,15 @@ type Server struct {
 	encodeErrors atomic.Int64
 }
 
-// NewServer returns an HTTP server over db.
+// NewServer returns an HTTP server over db, with the service core's
+// decode scheduler running.
 func NewServer(db *core.DB, opts ...Option) *Server {
 	o := options{shards: DefaultShards, maxBody: DefaultMaxBodyBytes}
 	for _, fn := range opts {
 		fn(&o)
 	}
 	return &Server{
-		svc:     &Service{db: db, reg: NewRegistry(o.shards)},
+		svc:     NewService(db, opts...),
 		maxBody: o.maxBody,
 	}
 }
@@ -225,7 +240,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // knownActions is the session action vocabulary; anything else is 404.
 var knownActions = map[string]bool{
 	"prefill": true, "update": true, "attention": true,
-	"attention_all": true, "step": true, "steps": true, "store": true,
+	"attention_all": true, "step": true, "steps": true,
+	"step_stream": true, "store": true,
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
@@ -325,6 +341,14 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp, serr = s.svc.Steps(id, &req)
+	case "step_stream":
+		var req StepsRequest
+		if derr := s.decodeBody(w, r, &req, true); derr != nil {
+			s.writeError(w, derr)
+			return
+		}
+		s.handleStepStream(w, r, id, &req)
+		return
 	case "store":
 		resp, serr = s.svc.Store(id)
 	}
@@ -333,6 +357,93 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeResult(w, r, resp)
+}
+
+// handleStepStream streams one frame (or NDJSON line) per finished step
+// over a chunked response, flushing after each so the engine reads step N
+// while the scheduler decodes step N+1. Errors before the first streamed
+// element are ordinary typed-envelope responses with the kind's status;
+// once streaming has begun the status line is committed, so errors travel
+// in the stream-end terminator instead.
+func (s *Server) handleStepStream(w http.ResponseWriter, r *http.Request, id int64, req *StepsRequest) {
+	frame := wantsFrame(r)
+	flusher, _ := w.(http.Flusher)
+	started := false
+	items := 0
+	var enc *json.Encoder
+	start := func() {
+		if frame {
+			w.Header().Set("Content-Type", FrameContentType)
+		} else {
+			w.Header().Set("Content-Type", NDJSONContentType)
+		}
+		w.WriteHeader(http.StatusOK)
+		started = true
+	}
+	sink := func(resp *StepResponse) error {
+		if !started {
+			start()
+		}
+		if frame {
+			buf := getFrameBuf()
+			out, err := appendStreamItemFrame(buf, resp)
+			if err != nil {
+				putFrameBuf(buf)
+				return Internalf("encode stream item: %v", err)
+			}
+			_, werr := w.Write(out)
+			putFrameBuf(out)
+			if werr != nil {
+				s.encodeErrors.Add(1)
+				return werr
+			}
+		} else {
+			if enc == nil {
+				enc = json.NewEncoder(w)
+			}
+			if err := enc.Encode(StreamItemEnvelope{Step: resp}); err != nil {
+				s.encodeErrors.Add(1)
+				return err
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		items++
+		return nil
+	}
+
+	err := s.svc.StepStream(r.Context(), id, req, sink)
+	if err != nil && !started {
+		s.writeError(w, err)
+		return
+	}
+	if !started {
+		start() // empty batch: a clean zero-item stream
+	}
+	var env ErrorEnvelope
+	if err != nil {
+		env = Envelope(err)
+	}
+	if frame {
+		buf := getFrameBuf()
+		out := appendStreamEndFrame(buf, items, env)
+		if _, werr := w.Write(out); werr != nil {
+			s.encodeErrors.Add(1)
+		}
+		putFrameBuf(out)
+	} else {
+		if enc == nil {
+			enc = json.NewEncoder(w)
+		}
+		end := StreamEndEnvelope{StreamEnd: true, Items: items, Error: env.Error, Kind: env.Kind}
+		if jerr := enc.Encode(end); jerr != nil {
+			s.encodeErrors.Add(1)
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -17,15 +19,29 @@ import (
 // exercise exactly the deployed logic. Safe for concurrent use — session
 // lookup and locking follow the package comment's discipline.
 type Service struct {
-	db  *core.DB
-	reg *Registry
-	eps metrics.EndpointCounters
+	db       *core.DB
+	reg      *Registry
+	eps      metrics.EndpointCounters
+	sched    *Scheduler
+	maxSteps int
 }
+
+// DefaultQueueDepth is the decode scheduler's admission-queue bound (in
+// steps) when no option overrides it.
+const DefaultQueueDepth = 1024
+
+// DefaultMaxSteps is the per-request step-batch bound when no option
+// overrides it: a steps/step_stream request may carry at most this many
+// steps, so response allocation is bounded before any is performed.
+const DefaultMaxSteps = 512
 
 // options collects the knobs shared by NewService and NewServer.
 type options struct {
-	shards  int
-	maxBody int64
+	shards   int
+	maxBody  int64
+	waveSize int
+	queueCap int
+	maxSteps int
 }
 
 // Option configures a Service or Server.
@@ -43,13 +59,43 @@ func WithMaxBodyBytes(n int64) Option {
 	return func(o *options) { o.maxBody = n }
 }
 
-// NewService returns the service core over db.
+// WithWaveSize caps how many sessions the decode scheduler batches into
+// one shared wave. Default (0): the DB's worker-pool size (at least 4).
+// Negative disables the scheduler entirely — steps decode serially on the
+// caller's goroutine, the per-request execution model that predates
+// continuous batching (kept for comparison benchmarks and debugging).
+func WithWaveSize(n int) Option {
+	return func(o *options) { o.waveSize = n }
+}
+
+// WithQueueDepth bounds the decode scheduler's admission queue in steps;
+// submits beyond it are rejected with the typed overloaded error.
+// Default DefaultQueueDepth.
+func WithQueueDepth(n int) Option {
+	return func(o *options) { o.queueCap = n }
+}
+
+// WithMaxSteps bounds how many steps one steps/step_stream request may
+// carry. Default DefaultMaxSteps.
+func WithMaxSteps(n int) Option {
+	return func(o *options) { o.maxSteps = n }
+}
+
+// NewService returns the service core over db, with the continuous-
+// batching decode scheduler running.
 func NewService(db *core.DB, opts ...Option) *Service {
 	o := options{shards: DefaultShards, maxBody: DefaultMaxBodyBytes}
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return &Service{db: db, reg: NewRegistry(o.shards)}
+	s := &Service{db: db, reg: NewRegistry(o.shards), maxSteps: o.maxSteps}
+	if s.maxSteps <= 0 {
+		s.maxSteps = DefaultMaxSteps
+	}
+	if o.waveSize >= 0 {
+		s.sched = newScheduler(s, o.waveSize, o.queueCap)
+	}
+	return s
 }
 
 // DB returns the underlying context store.
@@ -61,8 +107,16 @@ func (s *Service) Registry() *Registry { return s.reg }
 // EndpointStats snapshots the per-endpoint request/latency counters.
 func (s *Service) EndpointStats() []metrics.EndpointSnapshot { return s.eps.Snapshot() }
 
-// Close closes every open session.
+// Scheduler returns the decode scheduler (tests and stats inspect it);
+// nil only on a zero-value Service.
+func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// Close stops the decode scheduler (rejecting queued work), then closes
+// every open session.
 func (s *Service) Close() error {
+	if s.sched != nil {
+		s.sched.Close()
+	}
 	var firstErr error
 	for _, sess := range s.reg.Drain() {
 		if err := sess.Close(); err != nil && firstErr == nil {
@@ -229,6 +283,10 @@ type StatsResponse struct {
 	FP32Searches  int64   `json:"fp32_searches,omitempty"`
 	RerankedRows  int64   `json:"reranked_rows,omitempty"`
 	RerankPerSrch float64 `json:"rerank_per_search,omitempty"`
+	// Sched reports the continuous-batching decode scheduler: wave
+	// occupancy, queue depth, and admit/reject counters (absent from a
+	// zero-value Service with no scheduler).
+	Sched *metrics.SchedSnapshot `json:"sched,omitempty"`
 	// Per-endpoint request/latency counters of the serving API (absent
 	// until the first request).
 	Endpoints []metrics.EndpointSnapshot `json:"endpoints,omitempty"`
@@ -407,12 +465,11 @@ func (s *Service) AttentionAll(id int64, req *AttentionAllRequest) (resp *Attent
 	return resp, nil
 }
 
-// stepInto runs one validated decode step on an acquired session, writing
-// into a pooled scratch, and returns the wire response (sans done hook).
-func stepWire(sess *core.Session, req *StepRequest, sc *stepScratch, mc model.Config) *StepResponse {
-	results := sc.grab(mc.Layers, mc.QHeads)
-	sess.StepInto(req.Token, req.Queries, results)
-	resp := &StepResponse{ContextLen: sess.ContextLen(0), Layers: make([][]AttentionResponse, len(results))}
+// stepRespFromResults builds the wire response over a filled layers×heads
+// result block (which the response's float slices alias — the caller's
+// done hook owns the backing scratch).
+func stepRespFromResults(results [][]core.AttentionResult, ctxLen int) *StepResponse {
+	resp := &StepResponse{ContextLen: ctxLen, Layers: make([][]AttentionResponse, len(results))}
 	for l := range results {
 		resp.Layers[l] = make([]AttentionResponse, len(results[l]))
 		for h := range results[l] {
@@ -422,31 +479,66 @@ func stepWire(sess *core.Session, req *StepRequest, sc *stepScratch, mc model.Co
 	return resp
 }
 
+// stepWire runs one validated decode step on an acquired session, writing
+// into a pooled scratch, and returns the wire response (sans done hook).
+func stepWire(sess *core.Session, req *StepRequest, sc *stepScratch, mc model.Config) *StepResponse {
+	results := sc.grab(mc.Layers, mc.QHeads)
+	sess.StepInto(req.Token, req.Queries, results)
+	return stepRespFromResults(results, sess.ContextLen(0))
+}
+
 // Step is the v2 coarse decode API: ingest the step's token and return
-// attention outputs for all layers × all heads in one call, fanned across
-// the worker pool. The response is bitwise-identical to the v1 sequence
-// (Update, then AttentionAll per layer) it replaces.
+// attention outputs for all layers × all heads in one call. Steps are
+// admitted to the continuous-batching scheduler and executed in shared
+// cross-session decode waves; the response is bitwise-identical to both
+// the direct serial path and the v1 sequence (Update, then AttentionAll
+// per layer) it replaces.
 func (s *Service) Step(id int64, req *StepRequest) (resp *StepResponse, err error) {
 	defer s.track(metrics.EPStep, &err)()
 	mc := s.db.Model().Config()
 	if verr := checkStepQueries(req.Queries, mc); verr != nil {
 		return nil, verr
 	}
+	if s.sched != nil {
+		return s.sched.StepOne(id, req)
+	}
+	return s.stepDirect(id, req, mc)
+}
+
+// stepDirect is the scheduler-less serial step path (zero-value Service).
+func (s *Service) stepDirect(id int64, req *StepRequest, mc model.Config) (*StepResponse, error) {
 	sess, release, ok := s.reg.Acquire(id, true)
 	if !ok {
 		return nil, NotFoundf("no session %d", id)
 	}
 	defer release()
 	sc := stepScratchPool.Get().(*stepScratch)
-	resp = stepWire(sess, req, sc, mc)
+	resp := stepWire(sess, req, sc, mc)
 	resp.done = func() { stepScratchPool.Put(sc) }
 	return resp, nil
 }
 
+// checkStepsBound enforces the per-request step-batch bound before
+// anything is allocated proportionally to the request.
+func (s *Service) checkStepsBound(n int) *Error {
+	max := s.maxSteps
+	if max <= 0 {
+		max = DefaultMaxSteps
+	}
+	if n > max {
+		return BadRequestf("batch of %d steps exceeds the %d-step limit", n, max)
+	}
+	return nil
+}
+
 // Steps amortizes N decode steps over one round trip, executing them in
-// order under a single session acquisition.
+// order under a single session acquisition and replying only once the
+// whole batch is done (the buffered alternative to StepStream).
 func (s *Service) Steps(id int64, req *StepsRequest) (resp *StepsResponse, err error) {
 	defer s.track(metrics.EPSteps, &err)()
+	if verr := s.checkStepsBound(len(req.Steps)); verr != nil {
+		return nil, verr
+	}
 	mc := s.db.Model().Config()
 	for i := range req.Steps {
 		if verr := checkStepQueries(req.Steps[i].Queries, mc); verr != nil {
@@ -470,6 +562,93 @@ func (s *Service) Steps(id int64, req *StepsRequest) (resp *StepsResponse, err e
 		}
 	}
 	return resp, nil
+}
+
+// StepStream runs a batch of decode steps through the continuous-batching
+// scheduler and delivers each StepResponse to sink the moment its wave
+// completes, in step order, instead of buffering the batch the way Steps
+// does — the caller overlaps reading step N with the service decoding
+// step N+1. The response passed to sink is valid only for the duration of
+// the call: its buffers are released when sink returns. A sink error or a
+// ctx cancellation abandons the batch's remaining steps (they are drained
+// without compute) and is returned; the first step error aborts the same
+// way. StepStream returns only after every admitted step has been
+// accounted for, so pooled state never leaks.
+func (s *Service) StepStream(ctx context.Context, id int64, req *StepsRequest, sink func(*StepResponse) error) (err error) {
+	defer s.track(metrics.EPStepStream, &err)()
+	if verr := s.checkStepsBound(len(req.Steps)); verr != nil {
+		return verr
+	}
+	mc := s.db.Model().Config()
+	for i := range req.Steps {
+		if verr := checkStepQueries(req.Steps[i].Queries, mc); verr != nil {
+			return BadRequestf("step %d: %s", i, verr.Message)
+		}
+	}
+	if len(req.Steps) == 0 {
+		return nil
+	}
+	if s.sched == nil {
+		return s.stepStreamDirect(id, req, sink, mc)
+	}
+
+	// The channel holds the whole batch so the dispatcher never blocks on
+	// a slow sink; per-session FIFO dispatch means jobs arrive here in
+	// step order.
+	ch := make(chan *stepJob, len(req.Steps))
+	var canceled atomic.Bool
+	if serr := s.sched.SubmitBatch(id, req.Steps, ch, &canceled); serr != nil {
+		return serr
+	}
+	var firstErr error
+	abort := func(e error) {
+		canceled.Store(true)
+		if firstErr == nil {
+			firstErr = e
+		}
+	}
+	for i := 0; i < len(req.Steps); i++ {
+		var j *stepJob
+		select {
+		case j = <-ch:
+		case <-ctx.Done():
+			abort(ctx.Err())
+			j = <-ch // keep draining: every job must come home
+		}
+		switch {
+		case j.err != nil:
+			if j.err != errStepCanceled {
+				abort(j.err)
+			}
+		case firstErr == nil && !canceled.Load():
+			if serr := sink(j.resp); serr != nil {
+				abort(serr)
+			}
+		}
+		if j.resp != nil {
+			j.resp.Release()
+		}
+		putStepJob(j)
+	}
+	return firstErr
+}
+
+// stepStreamDirect is the scheduler-less serial stream path.
+func (s *Service) stepStreamDirect(id int64, req *StepsRequest, sink func(*StepResponse) error, mc model.Config) error {
+	sess, release, ok := s.reg.Acquire(id, true)
+	if !ok {
+		return NotFoundf("no session %d", id)
+	}
+	defer release()
+	sc := stepScratchPool.Get().(*stepScratch)
+	defer stepScratchPool.Put(sc)
+	for i := range req.Steps {
+		resp := stepWire(sess, &req.Steps[i], sc, mc)
+		if err := sink(resp); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Store persists the session's full state as a reusable context.
@@ -540,6 +719,10 @@ func (s *Service) Stats() (resp *StatsResponse, err error) {
 		resp.ReloadP95Millis = float64(ts.Counters.ReloadP95) / float64(time.Millisecond)
 		resp.SpillCacheHits = ts.Buffer.Hits
 		resp.SpillCacheMisses = ts.Buffer.Misses
+	}
+	if s.sched != nil {
+		snap := s.sched.Stats()
+		resp.Sched = &snap
 	}
 	resp.Endpoints = s.eps.Snapshot()
 	return resp, nil

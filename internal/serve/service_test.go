@@ -201,7 +201,8 @@ func TestServiceErrorModel(t *testing.T) {
 	for kind, want := range map[Kind]int{
 		KindBadRequest: 400, KindNotFound: 404, KindConflict: 409,
 		KindMethodNotAllowed: 405, KindTooLarge: 413,
-		KindUnsupportedMedia: 415, KindInternal: 500, Kind("mystery"): 500,
+		KindUnsupportedMedia: 415, KindOverloaded: 429,
+		KindInternal: 500, Kind("mystery"): 500,
 	} {
 		if got := HTTPStatus(kind); got != want {
 			t.Errorf("HTTPStatus(%s) = %d, want %d", kind, got, want)

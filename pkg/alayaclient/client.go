@@ -4,22 +4,31 @@
 //
 // A Client connects an inference engine to a running alayad:
 //
-//	cli := alayaclient.New("http://localhost:8265")
-//	sess, err := cli.CreateSession(doc)      // reuse any stored prefix
-//	sess.Prefill()                           // KV for unreused tokens
-//	resp, err := sess.Step(tok, queries)     // one decoded token, ONE round trip
-//	sess.Store()                             // persist for future reuse
-//	sess.Close()
+//	cli, err := alayaclient.NewClient(alayaclient.WithBaseURL("http://localhost:8265"))
+//	sess, err := cli.CreateSession(ctx, doc)   // reuse any stored prefix
+//	sess.Prefill(ctx)                          // KV for unreused tokens
+//	resp, err := sess.Step(ctx, tok, queries)  // one decoded token, ONE round trip
+//	sess.Store(ctx)                            // persist for future reuse
+//	sess.CloseSession(ctx)
 //
 // Step is the v2 decode API: it ships the generated token plus the query
 // vectors of every layer and head, and returns attention outputs for all
 // of them in a single round trip — where the v1 surface (Update +
 // AttentionAll per layer, also exposed here) needed 1 + Layers round
-// trips per token. Steps batches N tokens per round trip.
+// trips per token. Steps batches N tokens per round trip; StepStream
+// submits the same batch but iterates responses as the server streams
+// them, one frame per completed decode wave, so the engine consumes step
+// N while the service decodes step N+1.
+//
+// Every method takes a context.Context as its first argument and honors
+// cancellation, including mid-stream. The previous release's
+// context-free signatures survive as thin deprecated wrappers (the
+// Legacy-suffixed methods, Session.Close, New and WithJSON) for one
+// release.
 //
 // By default tensor-heavy calls use the binary frame codec
 // (application/x-alaya-frame; see internal/serve for the wire layout) and
-// fall back to JSON automatically if the server rejects it; WithJSON
+// fall back to JSON automatically if the server rejects it; WithJSONWire
 // forces JSON. Both codecs carry float32 values exactly, so the outputs
 // are bitwise-identical either way. The Client reuses connections and is
 // safe for concurrent use; a Session serializes its own mutating calls
@@ -28,7 +37,9 @@ package alayaclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -81,6 +92,13 @@ func IsNotFound(err error) bool {
 	return ok && ae.Kind == serve.KindNotFound
 }
 
+// IsOverloaded reports whether err is an APIError with kind overloaded —
+// the scheduler's backpressure signal; back off and retry.
+func IsOverloaded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Kind == serve.KindOverloaded
+}
+
 // Client talks to one alayad. Safe for concurrent use.
 type Client struct {
 	base      string
@@ -91,41 +109,67 @@ type Client struct {
 // Option configures a Client.
 type Option func(*Client)
 
+// WithBaseURL sets the daemon address (e.g. "http://localhost:8265").
+func WithBaseURL(base string) Option {
+	return func(c *Client) { c.base = strings.TrimRight(base, "/") }
+}
+
 // WithHTTPClient substitutes the underlying HTTP client (timeouts,
 // custom transports, test doubles).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithJSON forces the JSON codec on tensor endpoints instead of the
+// WithJSONWire forces the JSON codec on tensor endpoints instead of the
 // binary frame wire.
-func WithJSON() Option {
+func WithJSONWire() Option {
 	return func(c *Client) { c.forceJSON.Store(true) }
 }
 
-// New returns a client for the daemon at base (e.g.
-// "http://localhost:8265"). The default HTTP client keeps a generous
-// idle-connection pool per host so concurrent decode loops reuse
-// connections instead of re-dialing.
-func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/")}
+// WithJSON forces the JSON codec.
+//
+// Deprecated: renamed WithJSONWire.
+func WithJSON() Option { return WithJSONWire() }
+
+// NewClient builds a client from functional options. WithBaseURL is
+// required. The default HTTP client keeps a generous idle-connection
+// pool per host so concurrent decode loops reuse connections instead of
+// re-dialing.
+func NewClient(opts ...Option) (*Client, error) {
+	c := &Client{}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.base == "" {
+		return nil, errors.New("alayaclient: WithBaseURL is required")
 	}
 	if c.hc == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConnsPerHost = 64
 		c.hc = &http.Client{Transport: tr}
 	}
+	return c, nil
+}
+
+// New returns a client for the daemon at base.
+//
+// Deprecated: use NewClient(WithBaseURL(base), opts...).
+func New(base string, opts ...Option) *Client {
+	c, err := NewClient(append([]Option{WithBaseURL(base)}, opts...)...)
+	if err != nil {
+		// Unreachable: WithBaseURL is always supplied (an empty base
+		// fails on first use, as it always did).
+		c = &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	}
 	return c
 }
 
-// do issues one request and decodes the response into out (which may be
-// nil). Error responses become *APIError.
-func (c *Client) do(method, path string, contentType string, body []byte, accept string, out interface{}) error {
-	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+// send issues one request and returns the response with its body open.
+// Non-2xx responses are decoded into *APIError (body closed).
+func (c *Client) send(ctx context.Context, method, path, contentType string, body []byte, accept string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", contentType)
@@ -135,13 +179,8 @@ func (c *Client) do(method, path string, contentType string, body []byte, accept
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
-
 	if resp.StatusCode/100 != 2 {
 		ae := &APIError{Status: resp.StatusCode}
 		var env serve.ErrorEnvelope
@@ -150,8 +189,24 @@ func (c *Client) do(method, path string, contentType string, body []byte, accept
 		} else {
 			ae.Kind, ae.Message = serve.KindInternal, fmt.Sprintf("http status %d", resp.StatusCode)
 		}
-		return ae
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ae
 	}
+	return resp, nil
+}
+
+// do issues one request and decodes the response into out (which may be
+// nil). Error responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body []byte, accept string, out interface{}) error {
+	resp, err := c.send(ctx, method, path, contentType, body, accept)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	if out == nil {
 		return nil
 	}
@@ -166,7 +221,7 @@ func (c *Client) do(method, path string, contentType string, body []byte, accept
 }
 
 // postJSON posts a JSON body (the non-tensor endpoints).
-func (c *Client) postJSON(path string, in, out interface{}) error {
+func (c *Client) postJSON(ctx context.Context, path string, in, out interface{}) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -176,16 +231,16 @@ func (c *Client) postJSON(path string, in, out interface{}) error {
 	} else {
 		body = []byte("{}")
 	}
-	return c.do(http.MethodPost, path, "application/json", body, "", out)
+	return c.do(ctx, http.MethodPost, path, "application/json", body, "", out)
 }
 
 // postTensor posts a tensor-heavy request: binary frames by default,
 // falling back to JSON permanently if the server rejects the media type.
-func (c *Client) postTensor(path string, in, out interface{}) error {
+func (c *Client) postTensor(ctx context.Context, path string, in, out interface{}) error {
 	if !c.forceJSON.Load() {
 		body, err := serve.MarshalFrame(in)
 		if err == nil {
-			err = c.do(http.MethodPost, path, serve.FrameContentType, body, serve.FrameContentType, out)
+			err = c.do(ctx, http.MethodPost, path, serve.FrameContentType, body, serve.FrameContentType, out)
 			if ae, ok := err.(*APIError); ok && (ae.Status == http.StatusUnsupportedMediaType || ae.Status == http.StatusNotAcceptable) {
 				c.forceJSON.Store(true) // server speaks no frames; stay on JSON
 			} else {
@@ -196,20 +251,21 @@ func (c *Client) postTensor(path string, in, out interface{}) error {
 		// ragged query grids) go over JSON, where the server can reject
 		// them with its typed validation error.
 	}
-	return c.postJSON(path, in, out)
+	return c.postJSON(ctx, path, in, out)
 }
 
 // Healthz probes the daemon's liveness endpoint.
-func (c *Client) Healthz() (HealthzResponse, error) {
+func (c *Client) Healthz(ctx context.Context) (HealthzResponse, error) {
 	var hz HealthzResponse
-	err := c.do(http.MethodGet, "/v1/healthz", "", nil, "", &hz)
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", "", nil, "", &hz)
 	return hz, err
 }
 
-// Stats fetches the DB, tier, quant and per-endpoint statistics.
-func (c *Client) Stats() (StatsResponse, error) {
+// Stats fetches the DB, tier, quant, scheduler and per-endpoint
+// statistics.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var st StatsResponse
-	err := c.do(http.MethodGet, "/v1/stats", "", nil, "", &st)
+	err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, "", &st)
 	return st, err
 }
 
@@ -225,9 +281,9 @@ type Session struct {
 
 // CreateSession opens a session over doc, reusing the longest stored
 // prefix.
-func (c *Client) CreateSession(doc *Document) (*Session, error) {
+func (c *Client) CreateSession(ctx context.Context, doc *Document) (*Session, error) {
 	var resp serve.CreateSessionResponse
-	if err := c.postJSON("/v1/sessions", serve.DocumentWire{Seed: doc.Seed, Tokens: doc.Tokens}, &resp); err != nil {
+	if err := c.postJSON(ctx, "/v1/sessions", serve.DocumentWire{Seed: doc.Seed, Tokens: doc.Tokens}, &resp); err != nil {
 		return nil, err
 	}
 	return &Session{c: c, ID: resp.SessionID, Reused: resp.Reused}, nil
@@ -243,62 +299,139 @@ func (s *Session) path(action string) string {
 
 // Prefill generates KV for every document token not covered by the
 // reused prefix.
-func (s *Session) Prefill() (serve.PrefillResponse, error) {
+func (s *Session) Prefill(ctx context.Context) (serve.PrefillResponse, error) {
 	var resp serve.PrefillResponse
-	err := s.c.postJSON(s.path("prefill"), nil, &resp)
+	err := s.c.postJSON(ctx, s.path("prefill"), nil, &resp)
 	return resp, err
 }
 
 // Update ingests one generated token (v1 fine-grained API; v2 decode
 // loops use Step).
-func (s *Session) Update(tok Token) (serve.UpdateResponse, error) {
+func (s *Session) Update(ctx context.Context, tok Token) (serve.UpdateResponse, error) {
 	var resp serve.UpdateResponse
-	err := s.c.postJSON(s.path("update"), serve.UpdateRequest{Token: tok}, &resp)
+	err := s.c.postJSON(ctx, s.path("update"), serve.UpdateRequest{Token: tok}, &resp)
 	return resp, err
 }
 
 // Attention computes one head's attention output (v1).
-func (s *Session) Attention(layer, qHead int, query []float32) (AttentionResponse, error) {
+func (s *Session) Attention(ctx context.Context, layer, qHead int, query []float32) (AttentionResponse, error) {
 	var resp AttentionResponse
-	err := s.c.postTensor(s.path("attention"), &serve.AttentionRequest{Layer: layer, QHead: qHead, Query: query}, &resp)
+	err := s.c.postTensor(ctx, s.path("attention"), &serve.AttentionRequest{Layer: layer, QHead: qHead, Query: query}, &resp)
 	return resp, err
 }
 
 // AttentionAll computes every head of one layer (v1).
-func (s *Session) AttentionAll(layer int, queries [][]float32) (AttentionAllResponse, error) {
+func (s *Session) AttentionAll(ctx context.Context, layer int, queries [][]float32) (AttentionAllResponse, error) {
 	var resp AttentionAllResponse
-	err := s.c.postTensor(s.path("attention_all"), &serve.AttentionAllRequest{Layer: layer, Queries: queries}, &resp)
+	err := s.c.postTensor(ctx, s.path("attention_all"), &serve.AttentionAllRequest{Layer: layer, Queries: queries}, &resp)
 	return resp, err
 }
 
 // Step decodes one token in one round trip: tok is ingested across all
 // layers, and queries (indexed [layer][query head], covering the full
 // model geometry) are answered with attention outputs for every layer and
-// head over the extended context.
-func (s *Session) Step(tok Token, queries [][][]float32) (StepResponse, error) {
+// head over the extended context. Server-side the step joins a shared
+// cross-session decode wave; the output is bitwise-identical to a
+// dedicated serial step.
+func (s *Session) Step(ctx context.Context, tok Token, queries [][][]float32) (StepResponse, error) {
 	var resp StepResponse
-	err := s.c.postTensor(s.path("step"), &serve.StepRequest{Token: tok, Queries: queries}, &resp)
+	err := s.c.postTensor(ctx, s.path("step"), &serve.StepRequest{Token: tok, Queries: queries}, &resp)
 	return resp, err
 }
 
 // Steps amortizes N decode steps over one round trip; steps execute in
-// order.
-func (s *Session) Steps(steps []StepRequest) ([]StepResponse, error) {
+// order and the response arrives only when the whole batch is done. For
+// streamed delivery use StepStream.
+func (s *Session) Steps(ctx context.Context, steps []StepRequest) ([]StepResponse, error) {
 	var resp serve.StepsResponse
-	if err := s.c.postTensor(s.path("steps"), &serve.StepsRequest{Steps: steps}, &resp); err != nil {
+	if err := s.c.postTensor(ctx, s.path("steps"), &serve.StepsRequest{Steps: steps}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Steps, nil
 }
 
 // Store persists the session's full state as a reusable stored context.
-func (s *Session) Store() (serve.StoreResponse, error) {
+func (s *Session) Store(ctx context.Context) (serve.StoreResponse, error) {
 	var resp serve.StoreResponse
-	err := s.c.postJSON(s.path("store"), nil, &resp)
+	err := s.c.postJSON(ctx, s.path("store"), nil, &resp)
 	return resp, err
 }
 
-// Close closes the session server-side.
-func (s *Session) Close() error {
-	return s.c.do(http.MethodDelete, s.path(""), "", nil, "", nil)
+// CloseSession closes the session server-side (the SDK name now matches
+// the Service operation).
+func (s *Session) CloseSession(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, s.path(""), "", nil, "", nil)
 }
+
+// --- deprecated context-free wrappers (one release) ---
+
+// HealthzLegacy is Healthz without a context.
+//
+// Deprecated: use Healthz(ctx).
+func (c *Client) HealthzLegacy() (HealthzResponse, error) { return c.Healthz(context.Background()) }
+
+// StatsLegacy is Stats without a context.
+//
+// Deprecated: use Stats(ctx).
+func (c *Client) StatsLegacy() (StatsResponse, error) { return c.Stats(context.Background()) }
+
+// CreateSessionLegacy is CreateSession without a context.
+//
+// Deprecated: use CreateSession(ctx, doc).
+func (c *Client) CreateSessionLegacy(doc *Document) (*Session, error) {
+	return c.CreateSession(context.Background(), doc)
+}
+
+// PrefillLegacy is Prefill without a context.
+//
+// Deprecated: use Prefill(ctx).
+func (s *Session) PrefillLegacy() (serve.PrefillResponse, error) {
+	return s.Prefill(context.Background())
+}
+
+// UpdateLegacy is Update without a context.
+//
+// Deprecated: use Update(ctx, tok).
+func (s *Session) UpdateLegacy(tok Token) (serve.UpdateResponse, error) {
+	return s.Update(context.Background(), tok)
+}
+
+// AttentionLegacy is Attention without a context.
+//
+// Deprecated: use Attention(ctx, layer, qHead, query).
+func (s *Session) AttentionLegacy(layer, qHead int, query []float32) (AttentionResponse, error) {
+	return s.Attention(context.Background(), layer, qHead, query)
+}
+
+// AttentionAllLegacy is AttentionAll without a context.
+//
+// Deprecated: use AttentionAll(ctx, layer, queries).
+func (s *Session) AttentionAllLegacy(layer int, queries [][]float32) (AttentionAllResponse, error) {
+	return s.AttentionAll(context.Background(), layer, queries)
+}
+
+// StepLegacy is Step without a context.
+//
+// Deprecated: use Step(ctx, tok, queries).
+func (s *Session) StepLegacy(tok Token, queries [][][]float32) (StepResponse, error) {
+	return s.Step(context.Background(), tok, queries)
+}
+
+// StepsLegacy is Steps without a context.
+//
+// Deprecated: use Steps(ctx, steps).
+func (s *Session) StepsLegacy(steps []StepRequest) ([]StepResponse, error) {
+	return s.Steps(context.Background(), steps)
+}
+
+// StoreLegacy is Store without a context.
+//
+// Deprecated: use Store(ctx).
+func (s *Session) StoreLegacy() (serve.StoreResponse, error) {
+	return s.Store(context.Background())
+}
+
+// Close closes the session server-side.
+//
+// Deprecated: use CloseSession(ctx).
+func (s *Session) Close() error { return s.CloseSession(context.Background()) }

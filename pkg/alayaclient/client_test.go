@@ -1,6 +1,7 @@
 package alayaclient
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -31,6 +32,17 @@ type testEnv struct {
 	ts   *httptest.Server
 	m    *model.Model
 	inst workload.Instance
+}
+
+// cl builds a client against the test server, failing the test on a
+// construction error.
+func (e *testEnv) cl(t *testing.T, opts ...Option) *Client {
+	t.Helper()
+	c, err := NewClient(append([]Option{WithBaseURL(e.ts.URL)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 func newTestEnv(t *testing.T, contextLen int) *testEnv {
@@ -81,7 +93,7 @@ func (e *testEnv) queries(step int) [][][]float32 {
 
 func (e *testEnv) session(t *testing.T, c *Client) *Session {
 	t.Helper()
-	sess, err := c.CreateSession(e.inst.Doc)
+	sess, err := c.CreateSession(context.Background(), e.inst.Doc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +126,11 @@ func TestStepOneRoundTripBothCodecsMatchV1(t *testing.T) {
 	env := newTestEnv(t, 400)
 	mc := env.m.Config()
 
+	ctx := context.Background()
 	ct := &countingTransport{base: http.DefaultTransport}
-	binCli := New(env.ts.URL, WithHTTPClient(&http.Client{Transport: ct}))
-	jsonCli := New(env.ts.URL, WithJSON())
-	v1Cli := New(env.ts.URL, WithJSON())
+	binCli := env.cl(t, WithHTTPClient(&http.Client{Transport: ct}))
+	jsonCli := env.cl(t, WithJSONWire())
+	v1Cli := env.cl(t, WithJSONWire())
 
 	binSess := env.session(t, binCli)
 	jsonSess := env.session(t, jsonCli)
@@ -128,12 +141,12 @@ func TestStepOneRoundTripBothCodecsMatchV1(t *testing.T) {
 		qs := env.queries(step)
 
 		// v1: 1 + Layers round trips.
-		if _, err := v1Sess.Update(tok); err != nil {
+		if _, err := v1Sess.Update(ctx, tok); err != nil {
 			t.Fatal(err)
 		}
 		v1Out := make([][]AttentionResponse, mc.Layers)
 		for l := 0; l < mc.Layers; l++ {
-			resp, err := v1Sess.AttentionAll(l, qs[l])
+			resp, err := v1Sess.AttentionAll(ctx, l, qs[l])
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,7 +155,7 @@ func TestStepOneRoundTripBothCodecsMatchV1(t *testing.T) {
 
 		// v2 binary: exactly one round trip.
 		before := ct.n.Load()
-		binResp, err := binSess.Step(tok, qs)
+		binResp, err := binSess.Step(ctx, tok, qs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +164,7 @@ func TestStepOneRoundTripBothCodecsMatchV1(t *testing.T) {
 		}
 
 		// v2 JSON.
-		jsonResp, err := jsonSess.Step(tok, qs)
+		jsonResp, err := jsonSess.Step(ctx, tok, qs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,8 +186,9 @@ func TestStepOneRoundTripBothCodecsMatchV1(t *testing.T) {
 // steps, bit for bit.
 func TestStepsBatchMatchesSingles(t *testing.T) {
 	env := newTestEnv(t, 300)
-	single := env.session(t, New(env.ts.URL))
-	batch := env.session(t, New(env.ts.URL))
+	ctx := context.Background()
+	single := env.session(t, env.cl(t))
+	batch := env.session(t, env.cl(t))
 
 	const n = 3
 	var reqs []StepRequest
@@ -183,13 +197,13 @@ func TestStepsBatchMatchesSingles(t *testing.T) {
 		tok := Token{Topic: 2, Payload: i + 1}
 		qs := env.queries(i)
 		reqs = append(reqs, StepRequest{Token: tok, Queries: qs})
-		resp, err := single.Step(tok, qs)
+		resp, err := single.Step(ctx, tok, qs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		singles = append(singles, resp)
 	}
-	batched, err := batch.Steps(reqs)
+	batched, err := batch.Steps(ctx, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +227,8 @@ func TestStepsBatchMatchesSingles(t *testing.T) {
 // SDK: every failure surfaces as *APIError with the documented kind.
 func TestErrorConformance(t *testing.T) {
 	env := newTestEnv(t, 300)
-	c := New(env.ts.URL)
+	ctx := context.Background()
+	c := env.cl(t)
 	sess := env.session(t, c)
 	mc := env.m.Config()
 	goodQ := make([]float32, mc.HeadDim)
@@ -227,26 +242,26 @@ func TestErrorConformance(t *testing.T) {
 		do   func() error
 		kind serve.Kind
 	}{
-		{"prefill missing session", func() error { _, err := ghost.Prefill(); return err }, serve.KindNotFound},
-		{"update missing session", func() error { _, err := ghost.Update(Token{}); return err }, serve.KindNotFound},
-		{"step missing session", func() error { _, err := ghost.Step(Token{}, env.queries(0)); return err }, serve.KindNotFound},
-		{"store missing session", func() error { _, err := ghost.Store(); return err }, serve.KindNotFound},
-		{"close missing session", func() error { return ghost.Close() }, serve.KindNotFound},
-		{"attention bad layer", func() error { _, err := sess.Attention(99, 0, goodQ); return err }, serve.KindBadRequest},
-		{"attention bad head", func() error { _, err := sess.Attention(0, 99, goodQ); return err }, serve.KindBadRequest},
-		{"attention bad dim", func() error { _, err := sess.Attention(0, 0, goodQ[:3]); return err }, serve.KindBadRequest},
+		{"prefill missing session", func() error { _, err := ghost.Prefill(ctx); return err }, serve.KindNotFound},
+		{"update missing session", func() error { _, err := ghost.Update(ctx, Token{}); return err }, serve.KindNotFound},
+		{"step missing session", func() error { _, err := ghost.Step(ctx, Token{}, env.queries(0)); return err }, serve.KindNotFound},
+		{"store missing session", func() error { _, err := ghost.Store(ctx); return err }, serve.KindNotFound},
+		{"close missing session", func() error { return ghost.CloseSession(ctx) }, serve.KindNotFound},
+		{"attention bad layer", func() error { _, err := sess.Attention(ctx, 99, 0, goodQ); return err }, serve.KindBadRequest},
+		{"attention bad head", func() error { _, err := sess.Attention(ctx, 0, 99, goodQ); return err }, serve.KindBadRequest},
+		{"attention bad dim", func() error { _, err := sess.Attention(ctx, 0, 0, goodQ[:3]); return err }, serve.KindBadRequest},
 		{"attention_all bad layer", func() error {
-			_, err := sess.AttentionAll(99, env.queries(0)[0])
+			_, err := sess.AttentionAll(ctx, 99, env.queries(0)[0])
 			return err
 		}, serve.KindBadRequest},
 		{"attention_all missing heads", func() error {
-			_, err := sess.AttentionAll(0, env.queries(0)[0][:1])
+			_, err := sess.AttentionAll(ctx, 0, env.queries(0)[0][:1])
 			return err
 		}, serve.KindBadRequest},
-		{"step ragged geometry", func() error { _, err := sess.Step(Token{}, badQs); return err }, serve.KindBadRequest},
-		{"step missing layers", func() error { _, err := sess.Step(Token{}, env.queries(0)[:1]); return err }, serve.KindBadRequest},
+		{"step ragged geometry", func() error { _, err := sess.Step(ctx, Token{}, badQs); return err }, serve.KindBadRequest},
+		{"step missing layers", func() error { _, err := sess.Step(ctx, Token{}, env.queries(0)[:1]); return err }, serve.KindBadRequest},
 		{"steps bad inner step", func() error {
-			_, err := sess.Steps([]StepRequest{{Token: Token{}, Queries: env.queries(0)[:1]}})
+			_, err := sess.Steps(ctx, []StepRequest{{Token: Token{}, Queries: env.queries(0)[:1]}})
 			return err
 		}, serve.KindBadRequest},
 	}
@@ -267,25 +282,29 @@ func TestErrorConformance(t *testing.T) {
 	if !IsNotFound(&APIError{Kind: serve.KindNotFound}) || IsNotFound(fmt.Errorf("x")) {
 		t.Error("IsNotFound misclassifies")
 	}
+	if !IsOverloaded(&APIError{Kind: serve.KindOverloaded}) || IsOverloaded(fmt.Errorf("x")) {
+		t.Error("IsOverloaded misclassifies")
+	}
 }
 
 // TestClientStatsHealthz exercises the observability surface through the
 // SDK, including the per-endpoint counters the v2 API added.
 func TestClientStatsHealthz(t *testing.T) {
 	env := newTestEnv(t, 300)
-	c := New(env.ts.URL)
+	ctx := context.Background()
+	c := env.cl(t)
 
-	hz, err := c.Healthz()
+	hz, err := c.Healthz(ctx)
 	if err != nil || hz.Status != "ok" {
 		t.Fatalf("healthz = %+v, %v", hz, err)
 	}
 
 	sess := env.session(t, c)
-	if _, err := sess.Step(Token{Topic: 1, Payload: 1}, env.queries(0)); err != nil {
+	if _, err := sess.Step(ctx, Token{Topic: 1, Payload: 1}, env.queries(0)); err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +327,8 @@ func TestClientStatsHealthz(t *testing.T) {
 // and is the race-detector gate for the v2 path end to end.
 func TestConcurrentStepHammer(t *testing.T) {
 	env := newTestEnv(t, 256)
-	c := New(env.ts.URL)
+	ctx := context.Background()
+	c := env.cl(t)
 
 	const sessions = 4
 	const stepsPer = 6
@@ -324,7 +344,7 @@ func TestConcurrentStepHammer(t *testing.T) {
 			go func(sess *Session, g int) {
 				defer wg.Done()
 				for n := 0; n < stepsPer; n++ {
-					if _, err := sess.Step(Token{Topic: 1, Payload: n + 1}, env.queries(n)); err != nil {
+					if _, err := sess.Step(ctx, Token{Topic: 1, Payload: n + 1}, env.queries(n)); err != nil {
 						errs <- err
 						return
 					}
@@ -338,7 +358,7 @@ func TestConcurrentStepHammer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

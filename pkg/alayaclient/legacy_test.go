@@ -1,0 +1,72 @@
+package alayaclient
+
+import (
+	"testing"
+)
+
+// TestNewClientRequiresBaseURL: the functional-option constructor fails
+// fast without an address instead of producing a client that errors on
+// first use.
+func TestNewClientRequiresBaseURL(t *testing.T) {
+	if _, err := NewClient(); err == nil {
+		t.Fatal("NewClient() without WithBaseURL succeeded")
+	}
+	if _, err := NewClient(WithJSONWire()); err == nil {
+		t.Fatal("NewClient(WithJSONWire()) without WithBaseURL succeeded")
+	}
+}
+
+// TestLegacyWrappers drives the deprecated context-free surface end to
+// end: the one-release compatibility shim must behave exactly like the
+// ctx-first methods it delegates to.
+func TestLegacyWrappers(t *testing.T) {
+	env := newTestEnv(t, 300)
+	c := New(env.ts.URL) // deprecated constructor
+
+	if hz, err := c.HealthzLegacy(); err != nil || hz.Status != "ok" {
+		t.Fatalf("HealthzLegacy = %+v, %v", hz, err)
+	}
+
+	sess, err := c.CreateSessionLegacy(env.inst.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Reused != env.inst.Doc.Len() {
+		t.Fatalf("legacy session reused %d of %d tokens", sess.Reused, env.inst.Doc.Len())
+	}
+	if _, err := sess.PrefillLegacy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.UpdateLegacy(Token{Topic: 1, Payload: 1}); err != nil {
+		t.Fatal(err)
+	}
+	qs := env.queries(0)
+	if _, err := sess.AttentionLegacy(0, 0, qs[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AttentionAllLegacy(0, qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	step, err := sess.StepLegacy(Token{Topic: 1, Payload: 2}, env.queries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.ContextLen != env.inst.Doc.Len()+2 {
+		t.Fatalf("legacy step context len %d", step.ContextLen)
+	}
+	if _, err := sess.StepsLegacy([]StepRequest{{Token: Token{Topic: 1, Payload: 3}, Queries: env.queries(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.StoreLegacy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StatsLegacy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err == nil {
+		t.Fatal("double Close of a session succeeded")
+	}
+}
