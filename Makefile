@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-batching cover fuzz fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-batching bench-prefix cover fuzz fmt vet
 
 all: build vet test
 
@@ -60,6 +60,14 @@ bench-serving:
 BATCHING_JSON ?= BENCH_PR6.json
 bench-batching:
 	$(GO) run ./cmd/alayabench -exp batching -context 64 -layers 1 -qheads 2 -kvheads 1 -trials 5 -json $(BATCHING_JSON)
+
+# Prefix-sharing experiment: 16 copy-on-write sessions over one shared
+# 2048-token prefix vs single-context and materialized footprints, plus
+# trie lookup scaling against the resident-store size, with the PR 7 perf
+# artefact. The run itself enforces the <= 1.25x resident-bytes bound.
+PREFIX_JSON ?= BENCH_PR7.json
+bench-prefix:
+	$(GO) run ./cmd/alayabench -exp prefix -context 2048 -trials 2 -json $(PREFIX_JSON)
 
 # Coverage ratchet: fail if total statement coverage falls below COVER_MIN.
 COVER_MIN ?= 80.0

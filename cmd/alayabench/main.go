@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, or batching: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, batching, or prefix: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -95,8 +95,14 @@ func main() {
 				bench.WriteBatchingTable(d, os.Stdout)
 				data = d
 			}
+		case "prefix":
+			var d *bench.PrefixReportData
+			if d, err = bench.PrefixReport(scale); err == nil {
+				bench.WritePrefixTable(d, os.Stdout)
+				data = d
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, or batching")
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, batching, or prefix")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -104,6 +104,15 @@ func stats(baseURL string) error {
 	if st.SpillEnabled {
 		fmt.Printf("spill tier:     %d contexts, %d bytes, %d spills, %d/%d reload hit/miss\n",
 			st.SpilledContexts, st.SpilledBytes, st.Spills, st.ReloadHits, st.ReloadMisses)
+		if st.SpillErrors > 0 || st.ReloadErrors > 0 {
+			fmt.Printf("tier errors:    %d spill, %d reload\n", st.SpillErrors, st.ReloadErrors)
+		}
+	}
+	if st.PrefixLookups > 0 || st.SharedContexts > 0 {
+		fmt.Printf("prefix sharing: %d shared / %d pinned contexts, %d bytes shared, %d docs indexed\n",
+			st.SharedContexts, st.PinnedContexts, st.SharedPrefixBytes, st.PrefixTreeDocs)
+		fmt.Printf("prefix lookups: %d (%d hits, %d from spill), %d cow stores\n",
+			st.PrefixLookups, st.PrefixHits, st.PrefixSpillHits, st.CoWStores)
 	}
 	if st.Sched != nil {
 		fmt.Printf("scheduler:      %d waves (avg %.1f, max %d of %d), %d admitted, %d rejected, queue %d/%d\n",

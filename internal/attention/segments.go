@@ -1,0 +1,69 @@
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// KVSpan is one contiguous run of KV rows inside a larger logical
+// sequence: rows [Lo, Hi) of K and V participate in the partial. A chain
+// of spans models a context whose rows live in several caches — a shared
+// prefix context plus the divergent tails stacked on top of it by
+// copy-on-write Store — without copying anything.
+type KVSpan struct {
+	K, V   *vec.Matrix
+	Lo, Hi int
+}
+
+// rows returns the number of participating rows.
+func (s KVSpan) rows() int { return s.Hi - s.Lo }
+
+// OverSegmentsScratch computes one partial over the concatenation of the
+// spans, bitwise-identical to OverRangeScratch over a single matrix
+// holding the same rows in the same order: every batch kernel in
+// internal/vec computes per-row sequentially, so filling one logits
+// buffer span by span, scaling and softmaxing it once, and accumulating
+// the weighted sum span by span in row order reproduces the contiguous
+// computation operation for operation. This is what lets a session whose
+// tail is split across a copy-on-write chain score exactly like one whose
+// rows were materialized into a single cache. segs must be non-empty (its
+// spans may be); the Partial's Output is valid until sc's next use.
+func OverSegmentsScratch(sc *Scratch, q []float32, segs []KVSpan) Partial {
+	if len(segs) == 0 {
+		panic("attention: OverSegmentsScratch with no spans")
+	}
+	n := 0
+	for _, s := range segs {
+		checkKV(s.K, s.V)
+		if s.Lo < 0 || s.Hi < s.Lo || s.Hi > s.K.Rows() {
+			panic(fmt.Sprintf("attention: span [%d,%d) out of %d rows", s.Lo, s.Hi, s.K.Rows()))
+		}
+		n += s.rows()
+	}
+	dim := segs[len(segs)-1].V.Cols()
+	if n == 0 {
+		return Partial{Output: sc.outBuf(dim), LSE: math.Inf(-1)}
+	}
+	logits, w, out := sc.buffers(n, dim)
+	off := 0
+	for _, s := range segs {
+		if s.rows() == 0 {
+			continue
+		}
+		vec.DotBatchRange(q, s.K, s.Lo, s.Hi, logits[off:off+s.rows()])
+		off += s.rows()
+	}
+	scaleLogits(logits, len(q))
+	lse := vec.Softmax(logits, w)
+	off = 0
+	for _, s := range segs {
+		if s.rows() == 0 {
+			continue
+		}
+		vec.WeightedSumRange(w[off:off+s.rows()], s.V, s.Lo, s.Hi, out)
+		off += s.rows()
+	}
+	return Partial{Output: out, LSE: lse, Count: n}
+}

@@ -1,0 +1,83 @@
+package attention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// randMat fills an n×d matrix from rng.
+func randMat(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+	}
+	return m
+}
+
+// TestOverSegmentsBitwiseContiguous asserts the chained partial is
+// bitwise-identical to OverRangeScratch over a single matrix holding the
+// same rows in the same order — the guarantee copy-on-write contexts
+// lean on.
+func TestOverSegmentsBitwiseContiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d = 24
+	q := make([]float32, d)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	// Splits exercise empty spans, single-row spans, and offsets (Lo > 0).
+	cases := [][]int{{33}, {1, 32}, {10, 0, 5, 18}, {7, 7, 7, 7, 5}}
+	for ci, split := range cases {
+		total := 0
+		for _, n := range split {
+			total += n
+		}
+		whole := randMat(rng, total, d)
+		wholeV := randMat(rng, total, d)
+		var segs []KVSpan
+		off := 0
+		for _, n := range split {
+			// Each span gets its own matrices with padding rows before and
+			// after, so Lo/Hi addressing is exercised too.
+			pad := ci % 3
+			k := vec.NewMatrix(n+2*pad, d)
+			v := vec.NewMatrix(n+2*pad, d)
+			for i := 0; i < n; i++ {
+				copy(k.Row(pad+i), whole.Row(off+i))
+				copy(v.Row(pad+i), wholeV.Row(off+i))
+			}
+			segs = append(segs, KVSpan{K: k, V: v, Lo: pad, Hi: pad + n})
+			off += n
+		}
+		var scA, scB Scratch
+		got := OverSegmentsScratch(&scA, q, segs)
+		want := OverRangeScratch(&scB, q, whole, wholeV, 0, total)
+		if got.LSE != want.LSE || got.Count != want.Count {
+			t.Fatalf("case %d: LSE/Count = %v/%d, want %v/%d", ci, got.LSE, got.Count, want.LSE, want.Count)
+		}
+		for j := range want.Output {
+			if math.Float32bits(got.Output[j]) != math.Float32bits(want.Output[j]) {
+				t.Fatalf("case %d: output[%d] = %x, want %x", ci, j,
+					math.Float32bits(got.Output[j]), math.Float32bits(want.Output[j]))
+			}
+		}
+	}
+}
+
+// TestOverSegmentsEmpty checks the all-empty chain degenerates to the
+// empty partial, like OverRangeScratch on an empty range.
+func TestOverSegmentsEmpty(t *testing.T) {
+	k := vec.NewMatrix(4, 8)
+	v := vec.NewMatrix(4, 8)
+	var sc Scratch
+	p := OverSegmentsScratch(&sc, make([]float32, 8), []KVSpan{{K: k, V: v, Lo: 2, Hi: 2}})
+	if !math.IsInf(p.LSE, -1) || p.Count != 0 {
+		t.Fatalf("empty chain partial = %+v", p)
+	}
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+)
+
+func init() {
+	register("prefix", "copy-on-write prefix sharing: N sessions over one shared prefix, resident bytes vs unshared stores, and trie lookup scaling vs context count", runPrefix)
+}
+
+// prefixSessions is how many divergent sessions share the one prefix — the
+// many-conversations-over-one-system-prompt shape the CoW store targets.
+const prefixSessions = 16
+
+// prefixTail is each session's divergent suffix: a handful of generated
+// turns against a long shared prompt, scaled with the prefix so the
+// shared fraction is comparable across -context settings.
+func prefixTail(prefixLen int) int {
+	if n := prefixLen / 128; n > 8 {
+		return n
+	}
+	return 8
+}
+
+// PrefixReportData is the machine-readable artefact of the prefix-sharing
+// experiment (written to BENCH_PR7.json by CI): resident bytes for N
+// copy-on-write stores over one shared prefix against the single context
+// and against N materialized copies, plus the prefix-trie lookup cost at
+// two resident-store sizes — flat when the lookup is no longer a linear
+// scan over every stored context.
+type PrefixReportData struct {
+	PrefixLen int `json:"prefix_len"`
+	Sessions  int `json:"sessions"`
+	TailLen   int `json:"tail_len"`
+	Layers    int `json:"layers"`
+	// SingleContextBytes is the resident footprint of the shared prefix
+	// context alone (KV + indexes).
+	SingleContextBytes int64 `json:"single_context_bytes"`
+	// SharedResidentBytes is the footprint after all sessions stored
+	// copy-on-write: base + N divergent tails.
+	SharedResidentBytes int64 `json:"shared_resident_bytes"`
+	// SharedVsSingle is SharedResidentBytes / SingleContextBytes; the CoW
+	// acceptance bound is 1.25.
+	SharedVsSingle float64 `json:"shared_vs_single"`
+	// SharedPrefixBytes is the base bytes the stored tails reference
+	// without owning (DB.SharingStats).
+	SharedPrefixBytes int64 `json:"shared_prefix_bytes"`
+	// UnsharedBytesEst is what N materialized full copies would hold
+	// resident: the base plus N times one measured full import.
+	UnsharedBytesEst int64 `json:"unshared_bytes_est"`
+	// BytesSavedRatio is UnsharedBytesEst / SharedResidentBytes.
+	BytesSavedRatio float64 `json:"bytes_saved_ratio"`
+	// CoWStoreMS is the mean Store latency on the copy-on-write path.
+	CoWStoreMS float64 `json:"cow_store_ms"`
+	// UnsharedStoreMS is one full materialization + index build — the cost
+	// every store paid before copy-on-write.
+	UnsharedStoreMS float64 `json:"unshared_store_ms"`
+	// Lookup* measure CreateSession (trie lookup + session setup) over the
+	// shared document at two resident-store sizes; near-flat scaling shows
+	// the lookup is not O(contexts).
+	LookupContextsSmall int     `json:"lookup_contexts_small"`
+	LookupContextsLarge int     `json:"lookup_contexts_large"`
+	LookupSmallUS       float64 `json:"lookup_small_us"`
+	LookupLargeUS       float64 `json:"lookup_large_us"`
+	// LookupScaling is LookupLargeUS / LookupSmallUS.
+	LookupScaling float64 `json:"lookup_scaling"`
+}
+
+// prefixDB builds an unbounded DB at scale s.
+func prefixDB(s Scale) (*core.DB, error) {
+	return core.New(core.Config{
+		Model:         model.New(s.Model),
+		Window:        attention.Window{Sinks: 4, Recent: 16},
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       s.Workers,
+	})
+}
+
+// lookupTime measures mean CreateSession+Close over doc.
+func lookupTime(db *core.DB, doc *model.Document, reps int) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		sess, reused := db.CreateSession(doc)
+		sess.Close()
+		if reused != doc.Len() {
+			return 0, fmt.Errorf("bench: lookup reused %d of %d", reused, doc.Len())
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}
+
+// PrefixReport measures prefix sharing at scale s: s.ContextLen is the
+// shared prefix length.
+func PrefixReport(s Scale) (*PrefixReportData, error) {
+	s.Defaults()
+	base := model.NewFiller(s.Seed, s.ContextLen, 64, 32)
+
+	tailLen := prefixTail(s.ContextLen)
+
+	db, err := prefixDB(s)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.ImportDoc(base); err != nil {
+		return nil, err
+	}
+	singleBytes := db.StoredBytes()
+
+	// N sessions diverge from the shared prefix and store copy-on-write.
+	docs := make([]*model.Document, prefixSessions)
+	var cowStore time.Duration
+	for i := range docs {
+		doc := &model.Document{Seed: base.Seed, Tokens: append([]model.Token(nil), base.Tokens...)}
+		for j := 0; j < tailLen; j++ {
+			doc.Append(model.Token{Topic: 100 + i, Payload: j % 32})
+		}
+		docs[i] = doc
+		sess, reused := db.CreateSession(doc)
+		if reused != s.ContextLen {
+			sess.Close()
+			return nil, fmt.Errorf("bench: session %d reused %d of %d", i, reused, s.ContextLen)
+		}
+		sess.PrefillRemaining()
+		start := time.Now()
+		ctx, err := db.Store(sess)
+		cowStore += time.Since(start)
+		sess.Close()
+		if err != nil {
+			return nil, err
+		}
+		if ctx.Base() == nil {
+			return nil, fmt.Errorf("bench: store %d did not share its prefix", i)
+		}
+	}
+	sharedBytes := db.StoredBytes()
+	ratio := float64(sharedBytes) / float64(singleBytes)
+	if ratio > 1.25 {
+		return nil, fmt.Errorf("bench: %d shared sessions hold %.3fx the single-context bytes, bound is 1.25x",
+			prefixSessions, ratio)
+	}
+	st := db.SharingStats()
+
+	// Lookup scaling: the same CreateSession against a small and a much
+	// larger resident store. Fillers share nothing with the probe document,
+	// so a linear scan would pay for each of them; the trie does not.
+	smallContexts := db.NumContexts()
+	reps := 8 * s.Trials
+	lookupSmall, err := lookupTime(db, docs[0], reps)
+	if err != nil {
+		return nil, err
+	}
+	const largeContexts = 128
+	for i := smallContexts; i < largeContexts; i++ {
+		if _, err := db.ImportDoc(model.NewFiller(s.Seed+uint64(1000+i), 128, 16, 32)); err != nil {
+			return nil, err
+		}
+	}
+	lookupLarge, err := lookupTime(db, docs[0], reps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Unshared baseline: one full materialized import (the pre-CoW store
+	// path) prices what each of the N stores would have cost and held.
+	db2, err := prefixDB(s)
+	if err != nil {
+		return nil, err
+	}
+	defer db2.Close()
+	start := time.Now()
+	if _, err := db2.ImportDoc(docs[0]); err != nil {
+		return nil, err
+	}
+	unsharedStore := time.Since(start)
+	perFullCtx := db2.StoredBytes()
+	unsharedEst := singleBytes + int64(prefixSessions)*perFullCtx
+
+	return &PrefixReportData{
+		PrefixLen:           s.ContextLen,
+		Sessions:            prefixSessions,
+		TailLen:             tailLen,
+		Layers:              s.Model.Layers,
+		SingleContextBytes:  singleBytes,
+		SharedResidentBytes: sharedBytes,
+		SharedVsSingle:      ratio,
+		SharedPrefixBytes:   st.SharedPrefixBytes,
+		UnsharedBytesEst:    unsharedEst,
+		BytesSavedRatio:     float64(unsharedEst) / float64(sharedBytes),
+		CoWStoreMS:          1000 * cowStore.Seconds() / prefixSessions,
+		UnsharedStoreMS:     1000 * unsharedStore.Seconds(),
+		LookupContextsSmall: smallContexts,
+		LookupContextsLarge: largeContexts,
+		LookupSmallUS:       float64(lookupSmall.Nanoseconds()) / 1000,
+		LookupLargeUS:       float64(lookupLarge.Nanoseconds()) / 1000,
+		LookupScaling:       float64(lookupLarge) / float64(lookupSmall),
+	}, nil
+}
+
+// WritePrefixTable renders the report as the experiment's textual artefact.
+func WritePrefixTable(data *PrefixReportData, w io.Writer) {
+	tb := table{header: []string{"store path", "resident bytes", "vs single", "store ms"}}
+	tb.add("single context", fmt.Sprintf("%d", data.SingleContextBytes), "1.00x", "")
+	tb.add(fmt.Sprintf("%d sessions, copy-on-write", data.Sessions),
+		fmt.Sprintf("%d", data.SharedResidentBytes), fmt.Sprintf("%.2fx", data.SharedVsSingle), f2(data.CoWStoreMS))
+	tb.add(fmt.Sprintf("%d sessions, materialized (est)", data.Sessions),
+		fmt.Sprintf("%d", data.UnsharedBytesEst), fmt.Sprintf("%.2fx", float64(data.UnsharedBytesEst)/float64(data.SingleContextBytes)), f2(data.UnsharedStoreMS))
+	tb.write(w)
+	fmt.Fprintf(w, "\nshared prefix: %d tokens, %d-token tails; %d bytes referenced without copying (%.1fx saved)\n",
+		data.PrefixLen, data.TailLen, data.SharedPrefixBytes, data.BytesSavedRatio)
+	fmt.Fprintf(w, "lookup: %.1fus at %d contexts -> %.1fus at %d contexts (%.2fx; trie, not a linear scan)\n",
+		data.LookupSmallUS, data.LookupContextsSmall, data.LookupLargeUS, data.LookupContextsLarge, data.LookupScaling)
+}
+
+func runPrefix(s Scale, w io.Writer) error {
+	data, err := PrefixReport(s)
+	if err != nil {
+		return err
+	}
+	WritePrefixTable(data, w)
+	return nil
+}

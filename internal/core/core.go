@@ -77,6 +77,10 @@ type Config struct {
 	// spilled-context block reads (reloads and cold scans). Defaults to
 	// 64 MiB.
 	SpillCacheBytes int64
+	// PrefixChunk is the chunk width, in tokens, of the prefix trees that
+	// index resident and spilled documents for CreateSession's
+	// longest-common-prefix lookup. Defaults to 64.
+	PrefixChunk int
 	// QuantKeys enables the SQ8 key plane: stored contexts keep an int8
 	// shadow of every key row (per-row scales), the fp32 key rows are
 	// snapped to the dequantized values, and the whole read path — flat and
@@ -127,6 +131,9 @@ func (c *Config) defaults() error {
 	if c.SpillCacheBytes <= 0 {
 		c.SpillCacheBytes = 64 << 20
 	}
+	if c.PrefixChunk <= 0 {
+		c.PrefixChunk = defaultPrefixChunk
+	}
 	return nil
 }
 
@@ -135,31 +142,68 @@ type DB struct {
 	cfg       Config
 	mu        sync.RWMutex
 	contexts  []*Context
-	weightsH  int   // devmem handle for model weights
-	clock     int64 // logical clock for context recency
+	byHash    map[uint64]*Context   // resident contexts by document hash
+	tree      *prefixTree[*Context] // resident prefix lookup; has its own lock
+	weightsH  int                   // devmem handle for model weights
+	clock     int64                 // logical clock for context recency
 	evictions int64
 	tier      *tierState // disk spill tier; nil when Config.SpillDir is empty
 	quant     metrics.QuantCounters
+	share     metrics.ShareCounters
 }
 
 // Context is a stored, reusable long context: its prompts (token sequence),
-// KV cache, and per-(layer, group) vector indexes.
+// KV cache, and per-(layer, group) vector indexes. A context produced by a
+// copy-on-write Store additionally points at the immutable base it was
+// derived from: its own cache then holds only the rows past baseLen — the
+// divergent tail — while the shared prefix (KV rows, graph indexes, SQ8
+// plane) stays in the base, counted and spilled exactly once.
 type Context struct {
 	doc      *model.Document
-	cache    *kvcache.Cache
+	cache    *kvcache.Cache // full KV, or rows [baseLen, Len()) when base != nil
 	graphs   []*graph.Graph // layer*indexGroups + group; nil until built
 	groups   int            // query-head groups per layer (1 per kv head if shared)
 	lastUsed int64          // recency under the DB's logical clock
+	hash     uint64         // DocHash(doc), fixed at construction
+
+	base    *Context // shared immutable prefix chain; nil for a root context
+	baseLen int      // logical rows served by the base chain
+	// refs counts pins — active sessions attached to this context (or an
+	// ancestor chain passing through it) plus resident derived contexts —
+	// and is guarded by the DB's mu. Eviction refuses to drop a pinned
+	// context: a shared prefix is never pulled out from under a session or
+	// a resident descendant.
+	refs int32
+	// resident marks membership in db.contexts; guarded by db.mu.
+	resident bool
 }
 
 // Doc returns the stored token sequence.
 func (c *Context) Doc() *model.Document { return c.doc }
 
-// Cache returns the stored KV cache (read-only).
+// Cache returns the context's owned KV cache (read-only). For a
+// copy-on-write context this is only the divergent tail — rows
+// [BaseLen(), Len()) — the shared prefix rows live in Base()'s cache.
 func (c *Context) Cache() *kvcache.Cache { return c.cache }
 
 // Len returns the stored context length in tokens.
 func (c *Context) Len() int { return c.doc.Len() }
+
+// Base returns the shared prefix context this one was derived from by a
+// copy-on-write Store, or nil for a root context that owns all its rows.
+func (c *Context) Base() *Context { return c.base }
+
+// BaseLen returns how many leading rows the base chain serves (0 for a
+// root context).
+func (c *Context) BaseLen() int { return c.baseLen }
+
+// root returns the chain's root context (itself when it has no base).
+func (c *Context) root() *Context {
+	for c.base != nil {
+		c = c.base
+	}
+	return c
+}
 
 // New creates a DB. The model's weights are registered against the device,
 // mirroring the resident-weights footprint of a real deployment.
@@ -167,7 +211,11 @@ func New(cfg Config) (*DB, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	db := &DB{cfg: cfg}
+	db := &DB{
+		cfg:    cfg,
+		byHash: make(map[uint64]*Context),
+		tree:   newPrefixTree[*Context](cfg.PrefixChunk),
+	}
 	h, err := cfg.Device.Alloc(cfg.Model.WeightsBytes(), devmem.Weights)
 	if err != nil {
 		return nil, fmt.Errorf("core: registering model weights: %w", err)
@@ -250,12 +298,37 @@ func (db *DB) attachQuantPlanes(ctx *Context) {
 // store, so nothing can race the writes.
 func (db *DB) registerContext(ctx *Context) error {
 	db.mu.Lock()
-	db.contexts = append(db.contexts, ctx)
-	db.touchLocked(ctx)
+	db.registerLocked(ctx)
 	victims, err := db.enforceBudgetLocked(ctx)
 	db.mu.Unlock()
 	db.spillAll(victims)
 	return err
+}
+
+// registerLocked inserts ctx into the resident store and indexes it for
+// prefix lookup. A context with a base first (re-)registers its ancestors
+// — the chain's bytes are alive as long as the derived context is, so the
+// budget accounting must see them — and pins the chain, so eviction can
+// never drop a shared prefix out from under a resident descendant.
+// Re-registering an already-resident context only refreshes its recency.
+// Caller holds db.mu for writing.
+func (db *DB) registerLocked(ctx *Context) {
+	if ctx.resident {
+		db.touchLocked(ctx)
+		return
+	}
+	if ctx.base != nil {
+		db.registerLocked(ctx.base)
+		db.pinChainLocked(ctx.base)
+	}
+	if ctx.hash == 0 {
+		ctx.hash = DocHash(ctx.doc)
+	}
+	ctx.resident = true
+	db.contexts = append(db.contexts, ctx)
+	db.byHash[ctx.hash] = ctx
+	db.tree.Insert(ctx.doc, ctx)
+	db.touchLocked(ctx)
 }
 
 // ImportDoc generates the KV cache for doc through the model substrate and
@@ -425,42 +498,87 @@ func (ctx *Context) IndexBytes() int64 {
 // CreateSession opens a session for doc, reusing the longest common prefix
 // with any stored context (DB.create_session in Table 2). It returns the
 // session and the number of tokens reused: the caller only needs to feed
-// tokens from that position on through Session.Update. With a spill tier
-// configured, the prefix search also consults the spill catalog; a spilled
-// context with a longer matching prefix than any resident one is
-// transparently reloaded (off the store lock) and reused.
+// tokens from that position on through Session.Update.
+//
+// The prefix search runs through a chunked token-hash trie over the
+// resident documents — O(prefix/chunk) hash hops plus a token-exact
+// verification of the winner, entirely off the registry lock — and then
+// consults the spill tier's trie: a spilled context with a longer matching
+// prefix than any resident one is transparently reloaded and reused, so
+// the returned reuse count can come from a context that was not resident
+// when the call began (Session.BaseFromSpill reports this). The reused
+// context may itself be a copy-on-write chain; the session attaches at
+// the shallowest link that serves the whole reused prefix and pins the
+// chain, so eviction cannot drop any of it while the session lives.
 func (db *DB) CreateSession(doc *model.Document) (*Session, int) {
-	db.mu.Lock()
-	var best *Context
-	bestLen := 0
-	for _, ctx := range db.contexts {
-		if l := commonPrefix(ctx.doc, doc); l > bestLen {
-			best, bestLen = ctx, l
-		}
-	}
-	if best != nil {
-		db.touchLocked(best)
-	}
-	db.mu.Unlock()
+	best, bestLen := db.tree.Lookup(doc)
 	reloaded := false
 	if ctx, n := db.reloadForPrefix(doc, bestLen); ctx != nil {
 		best, bestLen, reloaded = ctx, n, true
+		db.share.RecordSpillHit()
 	}
+	db.share.RecordLookup(bestLen > 0)
+	db.mu.Lock()
+	for best != nil && best.base != nil && bestLen <= best.baseLen {
+		best = best.base // the whole reused prefix lives in an ancestor
+	}
+	if best != nil {
+		db.touchLocked(best)
+		db.pinChainLocked(best)
+	}
+	db.mu.Unlock()
 	s := newSession(db, best, bestLen, doc)
 	s.baseReloaded = reloaded
+	s.basePinned = best != nil
 	return s, bestLen
 }
 
-// Store persists a session's full state as a new reusable context
-// (DB.store in Table 2). This is the late-materialization point (§7.2):
-// the session's appended tokens are merged with the reused prefix into a
-// fresh context whose indexes are built now, not during decoding.
+// Store persists a session's state as a new reusable context (DB.store in
+// Table 2). A session that reuses a stored prefix produces a
+// copy-on-write context: the new context shares the base's KV rows, graph
+// indexes, and SQ8 plane by reference — pinning the base against eviction
+// — and owns only its divergent tail, cloned from the session so the
+// session can keep decoding afterwards. No prefix rows are copied and no
+// indexes are rebuilt; sessions created over the stored context reproduce
+// the storing session's computation exactly (retrieval through the chain
+// root's indexes, tail rows attended exactly), bitwise-identical to the
+// storing session continuing in place. A cold session (no reused prefix)
+// takes the original late-materialization path (§7.2): its tail becomes a
+// fresh root context whose indexes are built now, not during decoding.
 func (db *DB) Store(s *Session) (*Context, error) {
-	doc, cache, err := s.materialize()
-	if err != nil {
+	if s.base == nil {
+		doc, cache, err := s.materialize()
+		if err != nil {
+			return nil, err
+		}
+		return db.Import(doc, cache)
+	}
+	mc := db.cfg.Model.Config()
+	for l := 0; l < mc.Layers; l++ {
+		if got := s.ContextLen(l); got != s.doc.Len() {
+			return nil, fmt.Errorf("core: layer %d holds %d of %d tokens; prefill before storing", l, got, s.doc.Len())
+		}
+	}
+	if s.reuseLen == s.doc.Len() && s.base.Len() == s.doc.Len() {
+		// The session diverged nowhere: its base already is this context.
+		db.mu.Lock()
+		db.touchLocked(s.base)
+		db.mu.Unlock()
+		return s.base, nil
+	}
+	doc := &model.Document{Seed: s.doc.Seed, Tokens: append([]model.Token(nil), s.doc.Tokens...)}
+	ctx := &Context{
+		doc:     doc,
+		cache:   s.tail.Clone(),
+		groups:  db.indexGroups(),
+		base:    s.base,
+		baseLen: s.reuseLen,
+	}
+	db.share.RecordCoWStore()
+	if err := db.registerContext(ctx); err != nil {
 		return nil, err
 	}
-	return db.Import(doc, cache)
+	return ctx, nil
 }
 
 // Close releases the DB's device registrations.

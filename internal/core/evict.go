@@ -67,10 +67,15 @@ func (db *DB) touchLocked(ctx *Context) {
 
 // enforceBudgetLocked evicts least-recently-used contexts until the store
 // fits the budget, never evicting the context passed in (the one just
-// imported or about to be used). It returns the evicted contexts so the
-// caller can spill them to the disk tier once the lock is released —
-// SaveContext is file I/O and must not run under db.mu. Caller holds db.mu
-// for writing.
+// imported or about to be used) and never evicting a pinned context
+// (refs > 0: an active session or a resident derived context depends on
+// its rows). When only pins stand between the store and the budget the
+// loop stops without error — the store runs transiently over budget until
+// the pins release — but a store over budget with nothing pinned and
+// nothing evictable is a configuration error. It returns the evicted
+// contexts so the caller can spill them to the disk tier once the lock is
+// released — SaveContext is file I/O and must not run under db.mu. Caller
+// holds db.mu for writing.
 func (db *DB) enforceBudgetLocked(keep *Context) ([]*Context, error) {
 	if db.cfg.ContextBudget <= 0 {
 		return nil, nil
@@ -78,8 +83,13 @@ func (db *DB) enforceBudgetLocked(keep *Context) ([]*Context, error) {
 	var victims []*Context
 	for db.storedBytesLocked() > db.cfg.ContextBudget {
 		victim := -1
+		pinnedSkipped := false
 		for i, ctx := range db.contexts {
 			if ctx == keep {
+				continue
+			}
+			if ctx.refs > 0 {
+				pinnedSkipped = true
 				continue
 			}
 			if victim == -1 || ctx.lastUsed < db.contexts[victim].lastUsed {
@@ -87,14 +97,35 @@ func (db *DB) enforceBudgetLocked(keep *Context) ([]*Context, error) {
 			}
 		}
 		if victim == -1 {
+			if pinnedSkipped {
+				return victims, nil
+			}
 			return victims, fmt.Errorf("core: context store over budget (%d > %d) with nothing evictable",
 				db.storedBytesLocked(), db.cfg.ContextBudget)
 		}
 		victims = append(victims, db.contexts[victim])
-		db.contexts = append(db.contexts[:victim], db.contexts[victim+1:]...)
-		db.evictions++
+		db.evictLocked(victim)
 	}
 	return victims, nil
+}
+
+// evictLocked removes db.contexts[i] from the resident store and unwinds
+// its registration: prefix-tree entry, hash index, residency mark, and —
+// for a copy-on-write context — the pin it held on its base chain, which
+// may make an ancestor evictable in the same budget pass (chains drain
+// leaf-first). Caller holds db.mu for writing and has verified refs == 0.
+func (db *DB) evictLocked(i int) {
+	ctx := db.contexts[i]
+	db.contexts = append(db.contexts[:i], db.contexts[i+1:]...)
+	ctx.resident = false
+	db.tree.Remove(ctx.doc, ctx)
+	if db.byHash[ctx.hash] == ctx {
+		delete(db.byHash, ctx.hash)
+	}
+	if ctx.base != nil {
+		db.unpinChainLocked(ctx.base)
+	}
+	db.evictions++
 }
 
 // Evictions returns how many stored contexts have been evicted for

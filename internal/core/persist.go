@@ -39,12 +39,22 @@ type manifest struct {
 	// here in the manifest, indexed layer*KVHeads+head. Values stay fp32.
 	Quant       bool        `json:"quant,omitempty"`
 	QuantScales [][]float32 `json:"quant_scales,omitempty"`
+	// BaseHash/BaseLen mark a copy-on-write tail: the directory holds only
+	// rows [BaseLen, len(Tokens)) and no graphs; the leading BaseLen rows
+	// (and all indexes) belong to the context whose DocHash is BaseHash,
+	// persisted in its own directory exactly once. Tail rows are always
+	// fp32 — the SQ8 plane lives with the base.
+	BaseHash uint64 `json:"base_hash,omitempty"`
+	BaseLen  int    `json:"base_len,omitempty"`
 }
 
 // SaveContext persists a stored context into dir (created if absent). A
 // cache carrying the SQ8 plane saves its keys in code form — packed int8
 // rows a quarter of the fp32 size, scales in the manifest — from which
-// reload reconstructs the identical snapped fp32 plane.
+// reload reconstructs the identical snapped fp32 plane. A copy-on-write
+// context saves only what it owns: its divergent tail rows and a manifest
+// pointer to its base; the caller (the spill tier) is responsible for
+// persisting the base chain under its own hashes.
 func (db *DB) SaveContext(ctx *Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: save context: %w", err)
@@ -58,9 +68,16 @@ func (db *DB) SaveContext(ctx *Context, dir string) error {
 		Tokens:    ctx.doc.Tokens,
 		Groups:    ctx.groups,
 		ShareGQA:  *db.cfg.ShareGQA,
-		Entries:   make([]int32, len(ctx.graphs)),
+		Entries:   make([]int32, mc.Layers*ctx.groups),
 		BlockSize: vfs.DefaultBlock,
 		Quant:     quant,
+	}
+	if ctx.base != nil {
+		man.BaseHash = ctx.base.hash
+		if man.BaseHash == 0 {
+			man.BaseHash = DocHash(ctx.base.doc)
+		}
+		man.BaseLen = ctx.baseLen
 	}
 	for i, g := range ctx.graphs {
 		if g != nil {
@@ -90,7 +107,7 @@ func (db *DB) SaveContext(ctx *Context, dir string) error {
 				kf.Close()
 				return err
 			}
-			if man.ShareGQA {
+			if man.ShareGQA && ctx.graphs != nil {
 				g := ctx.graphs[l*ctx.groups+h]
 				if g != nil {
 					if err := kf.WriteAdjacency(adjacencyOf(g)); err != nil {
@@ -115,7 +132,7 @@ func (db *DB) SaveContext(ctx *Context, dir string) error {
 				return err
 			}
 		}
-		if !man.ShareGQA {
+		if !man.ShareGQA && ctx.graphs != nil {
 			for g := 0; g < ctx.groups; g++ {
 				gr := ctx.graphs[l*ctx.groups+g]
 				if gr == nil {
@@ -145,16 +162,28 @@ func (db *DB) SaveContext(ctx *Context, dir string) error {
 
 // LoadContext restores a context saved by SaveContext and registers it in
 // the DB for session reuse. The manifest's model configuration must match
-// the DB's. Registration goes through the normal store lifecycle: the
-// loaded context counts against the context budget and may evict (and
-// spill) older residents.
+// the DB's. A copy-on-write tail resolves its base against the resident
+// store only: load chains root-first. Registration goes through the
+// normal store lifecycle: the loaded context counts against the context
+// budget and may evict (and spill) older residents.
 func (db *DB) LoadContext(dir string) (*Context, error) {
-	ctx, err := db.readContextDir(dir, (*vfs.FS).ReadAll)
+	ctx, err := db.readContextDir(dir, (*vfs.FS).ReadAll, db.residentBase)
 	if err != nil {
 		return nil, err
 	}
 	if err := db.registerContext(ctx); err != nil {
 		return nil, err
+	}
+	return ctx, nil
+}
+
+// residentBase resolves a base hash against the resident store only.
+func (db *DB) residentBase(hash uint64) (*Context, error) {
+	db.mu.RLock()
+	ctx := db.byHash[hash]
+	db.mu.RUnlock()
+	if ctx == nil {
+		return nil, fmt.Errorf("core: base context %016x is not resident", hash)
 	}
 	return ctx, nil
 }
@@ -213,8 +242,24 @@ func (db *DB) readManifest(dir string) (*manifest, error) {
 			return nil, fmt.Errorf("core: manifest entry %d (%d) out of range for %d tokens", i, e, len(man.Tokens))
 		}
 	}
-	if man.Quant != db.cfg.QuantKeys {
-		return nil, fmt.Errorf("core: context key layout (quant=%v) differs from DB (quant=%v)", man.Quant, db.cfg.QuantKeys)
+	if man.BaseHash != 0 {
+		// Copy-on-write tail: the directory owns rows [BaseLen, Tokens) in
+		// fp32 — the SQ8 plane, like the graphs, lives with the base — so the
+		// quant layout check compares against the base's manifest, not this
+		// one.
+		if man.Quant {
+			return nil, fmt.Errorf("core: copy-on-write tail %016x saved with a quantized key plane", man.BaseHash)
+		}
+		if man.BaseLen <= 0 || man.BaseLen > len(man.Tokens) {
+			return nil, fmt.Errorf("core: manifest base length %d out of range for %d tokens", man.BaseLen, len(man.Tokens))
+		}
+	} else {
+		if man.BaseLen != 0 {
+			return nil, fmt.Errorf("core: manifest has base length %d but no base hash", man.BaseLen)
+		}
+		if man.Quant != db.cfg.QuantKeys {
+			return nil, fmt.Errorf("core: context key layout (quant=%v) differs from DB (quant=%v)", man.Quant, db.cfg.QuantKeys)
+		}
 	}
 	if man.Quant {
 		// The scales size key-row reconstruction: a crafted manifest must
@@ -231,11 +276,19 @@ func (db *DB) readManifest(dir string) (*manifest, error) {
 	return &man, nil
 }
 
+// baseResolver maps a manifest's base hash to a live context when a
+// copy-on-write tail is read back. LoadContext resolves against resident
+// contexts only; the spill tier falls through to a recursive reload.
+type baseResolver func(hash uint64) (*Context, error)
+
 // readContextDir rebuilds a context from a directory written by
-// SaveContext, reading vector payloads through read. It does not register
-// the context; callers decide the lifecycle (LoadContext registers,
-// the spill tier registers through its reload path).
-func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
+// SaveContext, reading vector payloads through read. A copy-on-write tail
+// resolves its base through resolveBase and re-attaches to the chain; the
+// restored context then owns only its tail rows, exactly as stored. It
+// does not register the context; callers decide the lifecycle
+// (LoadContext registers, the spill tier registers through its reload
+// path).
+func (db *DB) readContextDir(dir string, read matrixReader, resolveBase baseResolver) (*Context, error) {
 	man, err := db.readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -246,7 +299,21 @@ func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
 		doc:    &model.Document{Seed: man.Seed, Tokens: man.Tokens},
 		cache:  kvcache.New(mc.Layers, mc.KVHeads, mc.HeadDim),
 		groups: man.Groups,
-		graphs: make([]*graph.Graph, mc.Layers*man.Groups),
+	}
+	if man.BaseHash != 0 {
+		if resolveBase == nil {
+			return nil, fmt.Errorf("core: context in %s is a copy-on-write tail of %016x; no base resolver", dir, man.BaseHash)
+		}
+		base, err := resolveBase(man.BaseHash)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving base %016x: %w", man.BaseHash, err)
+		}
+		if base.Len() < man.BaseLen || commonPrefix(base.doc, ctx.doc) < man.BaseLen {
+			return nil, fmt.Errorf("core: base %016x does not cover the %d-token shared prefix", man.BaseHash, man.BaseLen)
+		}
+		ctx.base, ctx.baseLen = base, man.BaseLen
+	} else {
+		ctx.graphs = make([]*graph.Graph, mc.Layers*man.Groups)
 	}
 	if man.Quant {
 		ctx.cache.EnableQuantKeys() // empty cache: appends maintain the plane
@@ -308,14 +375,14 @@ func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
 					ctx.cache.Append(l, h, keys.Row(i), vals.Row(i))
 				}
 			}
-			if man.ShareGQA && adj != nil {
+			if man.ShareGQA && adj != nil && ctx.graphs != nil {
 				slot := l*man.Groups + h
 				g := graph.FromAdjacency(ctx.cache.Keys(l, h), adj, man.Entries[slot], db.cfg.Graph)
 				g.AttachQuantKeys(ctx.cache.QuantKeys(l, h))
 				ctx.graphs[slot] = g
 			}
 		}
-		if !man.ShareGQA {
+		if !man.ShareGQA && ctx.graphs != nil {
 			for g := 0; g < man.Groups; g++ {
 				path := filepath.Join(dir, fmt.Sprintf("L%dG%d.graph", l, g))
 				if _, err := os.Stat(path); err != nil {
@@ -338,8 +405,8 @@ func (db *DB) readContextDir(dir string, read matrixReader) (*Context, error) {
 			}
 		}
 	}
-	if ctx.cache.SeqLen(0) != ctx.doc.Len() {
-		return nil, fmt.Errorf("core: loaded cache holds %d tokens, manifest document has %d", ctx.cache.SeqLen(0), ctx.doc.Len())
+	if want := ctx.doc.Len() - man.BaseLen; ctx.cache.SeqLen(0) != want {
+		return nil, fmt.Errorf("core: loaded cache holds %d tokens, manifest expects %d owned rows", ctx.cache.SeqLen(0), want)
 	}
 	return ctx, nil
 }

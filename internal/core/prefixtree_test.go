@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// refLookup is the O(docs × length) scan the tree replaces; the tree must
+// match it on every query.
+func refLookup(docs []*model.Document, q *model.Document) (int, int) {
+	best, bestLen := -1, 0
+	for i, d := range docs {
+		if l := commonPrefix(d, q); l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best, bestLen
+}
+
+// mutateAt returns doc with the token at position p replaced, diverging
+// from every document sharing its prefix there.
+func mutateAt(doc *model.Document, p int) *model.Document {
+	out := &model.Document{Seed: doc.Seed, Tokens: append([]model.Token(nil), doc.Tokens...)}
+	out.Tokens[p].Payload += 1000
+	return out
+}
+
+func TestPrefixTreeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree := newPrefixTree[int](8) // small chunk: many levels at test sizes
+	base := model.NewFiller(5, 200, 16, 32)
+	var docs []*model.Document
+	add := func(d *model.Document) {
+		docs = append(docs, d)
+		tree.Insert(d, len(docs)-1)
+	}
+	// A family of documents around one shared prefix: truncations,
+	// extensions, and divergences at chunk-aligned and unaligned offsets.
+	add(base)
+	for _, n := range []int{3, 8, 17, 64, 100, 199} {
+		add(&model.Document{Seed: base.Seed, Tokens: append([]model.Token(nil), base.Tokens[:n]...)})
+	}
+	for _, p := range []int{0, 5, 8, 40, 63, 64, 65, 150} {
+		add(mutateAt(base, p))
+	}
+	add(model.NewFiller(6, 150, 16, 32)) // different seed: never matches seed-5 queries
+	for i := 0; i < 20; i++ {
+		d := model.NewFiller(5, 10+rng.Intn(190), 16, 32)
+		add(d)
+	}
+
+	queries := []*model.Document{
+		base,
+		mutateAt(base, 31),
+		mutateAt(base, 64),
+		mutateAt(base, 1),
+		{Seed: base.Seed, Tokens: base.Tokens[:77:77]},
+		{Seed: base.Seed, Tokens: base.Tokens[:8:8]},
+		model.NewFiller(7, 50, 16, 32), // unknown seed
+		model.NewFiller(5, 250, 16, 32),
+	}
+	for qi, q := range queries {
+		_, wantLen := refLookup(docs, q)
+		gotVal, gotLen := tree.Lookup(q)
+		if gotLen != wantLen {
+			t.Fatalf("query %d: tree lookup len = %d, linear scan = %d", qi, gotLen, wantLen)
+		}
+		if wantLen > 0 {
+			if l := commonPrefix(docs[gotVal], q); l != wantLen {
+				t.Fatalf("query %d: returned doc shares %d tokens, reported %d", qi, l, gotLen)
+			}
+		}
+	}
+
+	// Remove half the documents and re-check: pruning and rep re-election
+	// must keep answers exact.
+	kept := docs[:0:0]
+	for i, d := range docs {
+		if i%2 == 1 {
+			tree.Remove(d, i)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for qi, q := range queries {
+		_, wantLen := refLookup(kept, q)
+		_, gotLen := tree.Lookup(q)
+		if gotLen != wantLen {
+			t.Fatalf("after removal, query %d: tree = %d, scan = %d", qi, gotLen, wantLen)
+		}
+	}
+	if got, want := tree.Len(), len(kept); got != want {
+		t.Fatalf("tree holds %d docs, want %d", got, want)
+	}
+	for i, d := range kept {
+		tree.Remove(d, i*2)
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("tree not empty after removing everything: %d", tree.Len())
+	}
+	if len(tree.roots) != 0 {
+		t.Fatalf("seed roots not pruned: %d", len(tree.roots))
+	}
+}
+
+func TestPrefixTreeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tree := newPrefixTree[int](16)
+	var docs []*model.Document
+	live := make(map[int]bool)
+	for step := 0; step < 400; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) > 0:
+			var d *model.Document
+			if len(docs) > 0 && rng.Intn(2) == 0 {
+				// Derive from an existing doc: truncate or mutate, building
+				// deep shared-prefix families.
+				src := docs[rng.Intn(len(docs))]
+				if src.Len() > 1 && rng.Intn(2) == 0 {
+					n := 1 + rng.Intn(src.Len())
+					d = &model.Document{Seed: src.Seed, Tokens: append([]model.Token(nil), src.Tokens[:n]...)}
+				} else {
+					d = mutateAt(src, rng.Intn(src.Len()))
+				}
+			} else {
+				d = model.NewFiller(uint64(rng.Intn(4)), 1+rng.Intn(120), 8, 16)
+			}
+			docs = append(docs, d)
+			live[len(docs)-1] = true
+			tree.Insert(d, len(docs)-1)
+		default:
+			for i := range live {
+				delete(live, i)
+				tree.Remove(docs[i], i)
+				break
+			}
+		}
+		if step%17 == 0 {
+			q := model.NewFiller(uint64(rng.Intn(4)), 1+rng.Intn(140), 8, 16)
+			var liveDocs []*model.Document
+			for i := range live {
+				liveDocs = append(liveDocs, docs[i])
+			}
+			_, wantLen := refLookup(liveDocs, q)
+			_, gotLen := tree.Lookup(q)
+			if gotLen != wantLen {
+				t.Fatalf("step %d: tree = %d, scan = %d", step, gotLen, wantLen)
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ type decodeState struct {
 	winPrefix []int
 	prefixIdx []int
 	ids       []int
+	segs      []attention.KVSpan
 }
 
 var decodeStatePool = sync.Pool{New: func() interface{} { return new(decodeState) }}
@@ -50,11 +51,26 @@ func putDecodeStateAny(v interface{}) { decodeStatePool.Put(v) }
 // indexes), tokens at or above it live in the session-local tail cache —
 // the late-materialization zone (§7.2): they are attended through the
 // window, not indexed, until DB.Store materializes them.
+//
+// When the reused context is a copy-on-write chain, the split refines
+// further: rows [0, indexedLen) live in the chain's root and are
+// searchable through its indexes; rows [indexedLen, reuseLen) are the
+// chain links' divergent tails (mids), attended exactly — they were the
+// storing sessions' own tails, and they stay in that role here; rows from
+// reuseLen on are this session's tail. The mids and the tail score as one
+// chained partial that is bitwise-identical to a single contiguous tail
+// cache (attention.OverSegmentsScratch), which is what makes a session
+// over a stored copy-on-write context reproduce the storing session's
+// continuation exactly.
 type Session struct {
 	db           *DB
-	base         *Context // reused stored context; nil when starting cold
+	base         *Context // reused stored context (attach point); nil when cold
+	root         *Context // base's chain root; == base without copy-on-write
 	baseReloaded bool     // base was reloaded from the spill tier
+	basePinned   bool     // base chain holds this session's eviction pin
 	reuseLen     int      // tokens reused from base
+	indexedLen   int      // leading tokens searchable through root's indexes
+	mids         []kvSeg  // chain rows [indexedLen, reuseLen), root-first
 	doc          *model.Document
 	tail         *kvcache.Cache
 
@@ -65,6 +81,13 @@ type Session struct {
 	closed   bool
 
 	stats Stats
+}
+
+// kvSeg is one chain link's contribution to a session's attended rows:
+// local rows [lo, hi) of cache.
+type kvSeg struct {
+	cache  *kvcache.Cache
+	lo, hi int
 }
 
 // Stats counts a session's query processing activity.
@@ -104,12 +127,52 @@ func newSession(db *DB, base *Context, reuseLen int, doc *model.Document) *Sessi
 		windowH:  -1,
 		stats:    Stats{Plans: make(map[string]int)},
 	}
+	s.resolveChain()
 	mc := db.cfg.Model.Config()
 	winBytes := int64(db.cfg.Window.Sinks+db.cfg.Window.Recent) * int64(mc.Layers) * int64(mc.KVHeads) * int64(mc.HeadDim) * 4 * 2
 	if h, err := db.cfg.Device.Alloc(winBytes, devmem.Window); err == nil {
 		s.windowH = h
 	}
 	return s
+}
+
+// resolveChain precomputes the session's view of its base chain: the
+// root context (whose indexes serve retrieval), how many leading tokens
+// those indexes cover, and the middle segments — each chain link's owned
+// rows that fall inside the reused prefix, ordered root-first so the
+// chained tail partial visits rows in logical order. Contexts are
+// immutable, so this is fixed for the session's lifetime.
+func (s *Session) resolveChain() {
+	if s.base == nil {
+		s.indexedLen = 0
+		return
+	}
+	var chain []*Context // attach point first, root last
+	for c := s.base; c != nil; c = c.base {
+		chain = append(chain, c)
+	}
+	s.root = chain[len(chain)-1]
+	rootCover := s.root.Len()
+	if len(chain) > 1 {
+		rootCover = chain[len(chain)-2].baseLen
+	}
+	s.indexedLen = s.reuseLen
+	if s.indexedLen > rootCover {
+		s.indexedLen = rootCover
+	}
+	for i := len(chain) - 2; i >= 0; i-- {
+		c := chain[i]
+		upper := s.reuseLen
+		if i > 0 {
+			upper = chain[i-1].baseLen
+		}
+		if upper > c.Len() {
+			upper = c.Len()
+		}
+		if upper > c.baseLen {
+			s.mids = append(s.mids, kvSeg{cache: c.cache, lo: 0, hi: upper - c.baseLen})
+		}
+	}
 }
 
 // Doc returns the session's document (reused prefix plus appended tokens).
@@ -122,10 +185,12 @@ func (s *Session) ReuseLen() int { return s.reuseLen }
 // from the disk spill tier rather than found resident in memory.
 func (s *Session) BaseFromSpill() bool { return s.baseReloaded }
 
-// PartialReuse reports whether the session reuses only a strict prefix of
-// its stored context, which forces attribute filtering (§7.1).
+// PartialReuse reports whether the session's indexed prefix is a strict
+// prefix of the chain root's indexed rows, which forces attribute
+// filtering during retrieval (§7.1). Chain mids are attended exactly, so
+// only the root boundary matters here.
 func (s *Session) PartialReuse() bool {
-	return s.base != nil && s.reuseLen < s.base.Len()
+	return s.root != nil && s.indexedLen < s.root.Len()
 }
 
 // ContextLen returns the session's current context length for a layer:
@@ -320,8 +385,8 @@ func (s *Session) attentionInto(ds *decodeState, layer, qHead int, q []float32, 
 	}
 	if plan.Query == query.KindDIPR {
 		retrieved, explored, reranked = s.executeDIPR(ds, plan, layer, qHead, kv, q)
-		if s.base != nil && s.reuseLen > 0 {
-			s.db.quant.RecordSearch(s.base.cache.QuantEnabled(), reranked)
+		if s.root != nil && s.indexedLen > 0 {
+			s.db.quant.RecordSearch(s.root.cache.QuantEnabled(), reranked)
 		}
 	}
 
@@ -353,28 +418,29 @@ func (s *Session) deviceFree() int64 {
 // block representatives plus a resident working set of one retrieval budget
 // of KV per layer.
 func (s *Session) coarseNeed() int64 {
-	if s.base == nil {
+	if s.root == nil {
 		return 0
 	}
 	mc := s.db.cfg.Model.Config()
 	perTokenBytes := int64(mc.HeadDim) * 4 * 2 * int64(mc.KVHeads)
 	budget := int64(s.db.cfg.CoarseBudget) * perTokenBytes * int64(mc.Layers)
-	reps := s.base.cache.Bytes() / 8 // min/max/mean summaries at block granularity
+	reps := s.root.cache.Bytes() / 8 // min/max/mean summaries at block granularity
 	return budget + reps
 }
 
-// executeDIPR retrieves the β-critical set from the reused prefix via the
-// planned index, through ds's search arenas. The attended set is bounded to
-// an eighth of the prefix (min 64): diffuse heads' β-bands can span much of
-// the context, and like InfLLM's block budget, production retrieval is
-// bounded. The returned ids alias ds. The final result reports how many
-// band candidates were reranked in fp32 (0 on the fp32 plane).
+// executeDIPR retrieves the β-critical set from the indexed prefix — the
+// chain root's rows below indexedLen — via the planned index, through ds's
+// search arenas. The attended set is bounded to an eighth of the indexed
+// prefix (min 64): diffuse heads' β-bands can span much of the context,
+// and like InfLLM's block budget, production retrieval is bounded. The
+// returned ids alias ds. The final result reports how many band
+// candidates were reranked in fp32 (0 on the fp32 plane).
 func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv int, q []float32) ([]int, int, int) {
-	if s.base == nil || s.reuseLen == 0 {
+	if s.root == nil || s.indexedLen == 0 {
 		return nil, 0, 0
 	}
 	beta := s.db.cfg.Beta
-	limit := s.reuseLen
+	limit := s.indexedLen
 	resultCap := limit / 8
 	if resultCap < 64 {
 		resultCap = 64
@@ -385,7 +451,7 @@ func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv
 		return ids, limit, reranked
 	}
 
-	g := s.base.Graph(s.db, layer, qHead)
+	g := s.root.Graph(s.db, layer, qHead)
 	if g == nil {
 		s.mu.Lock()
 		s.stats.FlatFallbacks++
@@ -399,7 +465,7 @@ func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv
 	// best inner product inside the device window's prefix part. The seed
 	// is exact (the snapped fp32 plane); a quantized traversal lowers it by
 	// its error bound internally.
-	if max, ok := query.WindowMax(q, s.base.cache.Keys(layer, kv), ds.winPrefix); ok {
+	if max, ok := query.WindowMax(q, s.root.cache.Keys(layer, kv), ds.winPrefix); ok {
 		cfg.InitialMax = max
 		cfg.HasInitialMax = true
 	}
@@ -424,7 +490,7 @@ func (s *Session) executeDIPR(ds *decodeState, plan query.Plan, layer, qHead, kv
 // flat scratch — on the SQ8 plane with an fp32 rerank when the stored
 // context carries one. The returned ids alias ds.
 func (s *Session) flatDIPR(ds *decodeState, layer, kv int, q []float32, beta float32, limit, resultCap int) ([]int, int) {
-	fx := flat.MakeQuant(s.base.cache.Keys(layer, kv), s.base.cache.QuantKeys(layer, kv), s.db.cfg.Workers)
+	fx := flat.MakeQuant(s.root.cache.Keys(layer, kv), s.root.cache.QuantKeys(layer, kv), s.db.cfg.Workers)
 	cands, _ := fx.DIPRFilteredScratch(&ds.flat, q, beta, limit)
 	if len(cands) > resultCap {
 		cands = cands[:resultCap] // best-first: keep the top of the band
@@ -438,14 +504,14 @@ func (s *Session) flatDIPR(ds *decodeState, layer, kv int, q []float32, beta flo
 }
 
 // windowPrefixInto collects into ds.winPrefix the device-window positions
-// that fall inside the reused prefix for a context of n tokens. Window
-// positions past the prefix need no bookkeeping: the tail partial covers
-// every tail token.
+// that fall inside the indexed prefix for a context of n tokens. Window
+// positions past it need no bookkeeping: the chained tail partial covers
+// every chain-mid and tail token exactly.
 func (s *Session) windowPrefixInto(ds *decodeState, n int) {
 	ds.winPrefix = ds.winPrefix[:0]
-	reuseLen := s.reuseLen
+	indexedLen := s.indexedLen
 	s.db.cfg.Window.VisitIndices(n, func(i int) {
-		if i < reuseLen {
+		if i < indexedLen {
 			ds.winPrefix = append(ds.winPrefix, i)
 		}
 	})
@@ -464,14 +530,14 @@ func (s *Session) windowPrefixInto(ds *decodeState, n int) {
 func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv int, q []float32, res *AttentionResult, retrieved []int) int {
 	prefixIdx := ds.prefixIdx[:0]
 	if plan.Query == query.KindFull {
-		for i := 0; i < s.reuseLen; i++ {
+		for i := 0; i < s.indexedLen; i++ {
 			prefixIdx = append(prefixIdx, i)
 		}
 	} else {
 		// Window positions first, then retrieved positions not already in
 		// the window: the dedup set is an epoch-cleared bitset over the
 		// prefix, not a per-call map.
-		ds.seen.Reset(s.reuseLen)
+		ds.seen.Reset(s.indexedLen)
 		for _, i := range ds.winPrefix {
 			ds.seen.Add(i)
 			prefixIdx = append(prefixIdx, i)
@@ -485,22 +551,35 @@ func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv i
 	ds.prefixIdx = prefixIdx
 	tailLen := s.tail.SeqLen(layer)
 
-	if p := s.db.cfg.Pool; p.Size() > 0 && s.base != nil && len(prefixIdx) > 0 {
+	// The tail side is a chain: the base links' divergent rows inside the
+	// reused prefix (mids, root-first), then the session's own tail —
+	// bitwise-identical to one contiguous tail cache holding the same rows.
+	segs := ds.segs[:0]
+	segRows := 0
+	for _, m := range s.mids {
+		segs = append(segs, attention.KVSpan{K: m.cache.Keys(layer, kv), V: m.cache.Values(layer, kv), Lo: m.lo, Hi: m.hi})
+		segRows += m.hi - m.lo
+	}
+	segs = append(segs, attention.KVSpan{K: s.tail.Keys(layer, kv), V: s.tail.Values(layer, kv), Lo: 0, Hi: tailLen})
+	segRows += tailLen
+	ds.segs = segs
+
+	if p := s.db.cfg.Pool; p.Size() > 0 && s.root != nil && len(prefixIdx) > 0 {
 		p.Run(
 			func() {
 				ds.parts[0] = s.prefixPartial(ds, layer, kv, q, prefixIdx)
 			},
 			func() {
-				ds.parts[1] = attention.OverRangeScratch(&ds.scTail, q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), 0, tailLen)
+				ds.parts[1] = attention.OverSegmentsScratch(&ds.scTail, q, segs)
 			},
 		)
 	} else {
-		if s.base != nil && len(prefixIdx) > 0 {
+		if s.root != nil && len(prefixIdx) > 0 {
 			ds.parts[0] = s.prefixPartial(ds, layer, kv, q, prefixIdx)
 		} else {
 			ds.parts[0] = attention.Partial{LSE: math.Inf(-1)}
 		}
-		ds.parts[1] = attention.OverRangeScratch(&ds.scTail, q, s.tail.Keys(layer, kv), s.tail.Values(layer, kv), 0, tailLen)
+		ds.parts[1] = attention.OverSegmentsScratch(&ds.scTail, q, segs)
 	}
 
 	if cap(res.Output) < len(q) {
@@ -509,25 +588,26 @@ func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv i
 		res.Output = res.Output[:len(q)]
 	}
 	attention.MergeInto(res.Output, ds.parts[:])
-	return len(prefixIdx) + tailLen
+	return len(prefixIdx) + segRows
 }
 
-// prefixPartial computes the host-side partial over the reused prefix —
-// the data-centric engine's host half (§7.2). With the SQ8 plane enabled,
-// logits gather from the quantized storage (a quarter of the key traffic);
-// values are always mixed in fp32.
+// prefixPartial computes the host-side partial over the indexed prefix —
+// the data-centric engine's host half (§7.2), reading the chain root's
+// cache. With the SQ8 plane enabled, logits gather from the quantized
+// storage (a quarter of the key traffic); values are always mixed in
+// fp32.
 func (s *Session) prefixPartial(ds *decodeState, layer, kv int, q []float32, prefixIdx []int) attention.Partial {
-	if qk := s.base.cache.QuantKeys(layer, kv); qk != nil {
-		return attention.OverQ8Scratch(&ds.scPrefix, q, qk, s.base.cache.Values(layer, kv), prefixIdx)
+	if qk := s.root.cache.QuantKeys(layer, kv); qk != nil {
+		return attention.OverQ8Scratch(&ds.scPrefix, q, qk, s.root.cache.Values(layer, kv), prefixIdx)
 	}
-	return attention.OverScratch(&ds.scPrefix, q, s.base.cache.Keys(layer, kv), s.base.cache.Values(layer, kv), prefixIdx)
+	return attention.OverScratch(&ds.scPrefix, q, s.root.cache.Keys(layer, kv), s.root.cache.Values(layer, kv), prefixIdx)
 }
 
 // coarseIndex lazily builds (and device-registers) the coarse index for
 // (layer, kvHead) over the reused context. Returns false if the device
 // cannot hold the working set.
 func (s *Session) coarseIndex(layer, kv int) (*coarse.Index, bool) {
-	if s.base == nil {
+	if s.root == nil {
 		return nil, false
 	}
 	key := layer*s.db.cfg.Model.Config().KVHeads + kv
@@ -536,7 +616,7 @@ func (s *Session) coarseIndex(layer, kv int) (*coarse.Index, bool) {
 	if ix, ok := s.coarseIx[key]; ok {
 		return ix, ix != nil
 	}
-	ix := coarse.New(s.base.cache.Keys(layer, kv), 128, coarse.Mean)
+	ix := coarse.New(s.root.cache.Keys(layer, kv), 128, coarse.Mean)
 	mc := s.db.cfg.Model.Config()
 	need := ix.RepresentativeBytes() + int64(s.db.cfg.CoarseBudget)*int64(mc.HeadDim)*4*2
 	h, err := s.db.cfg.Device.Alloc(need, devmem.BlockCache)
@@ -549,9 +629,13 @@ func (s *Session) coarseIndex(layer, kv int) (*coarse.Index, bool) {
 	return ix, true
 }
 
-// materialize produces the session's full document and KV cache for
-// DB.Store.
+// materialize produces a cold session's full document and KV cache for
+// DB.Store's late-materialization path. Sessions with a reused base take
+// the copy-on-write path in Store instead of copying prefix rows here.
 func (s *Session) materialize() (*model.Document, *kvcache.Cache, error) {
+	if s.base != nil {
+		return nil, nil, fmt.Errorf("core: materialize on a session with a reused base; Store shares it copy-on-write")
+	}
 	mc := s.db.cfg.Model.Config()
 	out := kvcache.New(mc.Layers, mc.KVHeads, mc.HeadDim)
 	for l := 0; l < mc.Layers; l++ {
@@ -559,12 +643,6 @@ func (s *Session) materialize() (*model.Document, *kvcache.Cache, error) {
 			return nil, nil, fmt.Errorf("core: layer %d holds %d of %d tokens; prefill before storing", l, got, s.doc.Len())
 		}
 		for h := 0; h < mc.KVHeads; h++ {
-			if s.base != nil {
-				bk, bv := s.base.cache.Keys(l, h), s.base.cache.Values(l, h)
-				for i := 0; i < s.reuseLen; i++ {
-					out.Append(l, h, bk.Row(i), bv.Row(i))
-				}
-			}
 			tk, tv := s.tail.Keys(l, h), s.tail.Values(l, h)
 			for i := 0; i < tk.Rows(); i++ {
 				out.Append(l, h, tk.Row(i), tv.Row(i))
@@ -575,8 +653,8 @@ func (s *Session) materialize() (*model.Document, *kvcache.Cache, error) {
 	return doc, out, nil
 }
 
-// Close releases the session's device registrations. Double closes are
-// rejected.
+// Close releases the session's device registrations and its eviction pin
+// on the base chain. Double closes are rejected.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -584,6 +662,12 @@ func (s *Session) Close() error {
 		return fmt.Errorf("core: session already closed")
 	}
 	s.closed = true
+	if s.basePinned {
+		s.db.mu.Lock()
+		s.db.unpinChainLocked(s.base)
+		s.db.mu.Unlock()
+		s.basePinned = false
+	}
 	if s.windowH >= 0 {
 		if err := s.db.cfg.Device.Free(s.windowH); err != nil {
 			return err

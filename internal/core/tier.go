@@ -36,13 +36,18 @@ import (
 // spillEntry is one catalogued spilled context: where it lives on disk,
 // the document it holds (kept in memory so prefix matching never touches
 // the disk), its on-disk footprint, and its recency under the catalog's
-// LRU clock.
+// LRU clock. A copy-on-write tail additionally records its base's hash
+// and covered prefix length, mirroring the manifest: the catalog tracks
+// the dependency so budget enforcement never deletes a base a spilled
+// tail still needs.
 type spillEntry struct {
 	hash     uint64
 	dir      string
 	doc      *model.Document
 	bytes    int64 // on-disk footprint (all files of the context directory)
 	lastUsed int64
+	baseHash uint64 // DocHash of the base context; 0 for a root
+	baseLen  int    // prefix rows served by the base chain
 }
 
 // reloadOp collapses concurrent reloads of the same spilled context: the
@@ -68,8 +73,41 @@ type tierState struct {
 	entries   map[uint64]*spillEntry
 	inflight  map[uint64]*reloadOp
 	spilling  map[uint64]bool // hashes being written by spillOne right now
+	baseRefs  map[uint64]int  // catalogued tails depending on each base hash
 	clock     int64
 	diskBytes int64
+
+	// tree indexes the catalogued documents for CreateSession's prefix
+	// lookup — the disk-tier twin of the DB's resident tree. It has its own
+	// lock; tree operations under t.mu are fine (nothing takes t.mu while
+	// holding the tree's lock).
+	tree *prefixTree[*spillEntry]
+}
+
+// addEntryLocked catalogs e: hash map, disk accounting, prefix index, and
+// the base dependency count for a copy-on-write tail. Caller holds t.mu.
+func (t *tierState) addEntryLocked(e *spillEntry) {
+	t.entries[e.hash] = e
+	t.diskBytes += e.bytes
+	if e.baseHash != 0 {
+		t.baseRefs[e.baseHash]++
+	}
+	t.tree.Insert(e.doc, e)
+}
+
+// removeEntryLocked drops e from the catalog and releases its base
+// dependency. Caller holds t.mu and deletes the directory afterwards,
+// outside the lock (or keeps it, for a reload that leaves the files for
+// dependants). Caller holds t.mu.
+func (t *tierState) removeEntryLocked(e *spillEntry) {
+	delete(t.entries, e.hash)
+	t.diskBytes -= e.bytes
+	if e.baseHash != 0 {
+		if t.baseRefs[e.baseHash]--; t.baseRefs[e.baseHash] <= 0 {
+			delete(t.baseRefs, e.baseHash)
+		}
+	}
+	t.tree.Remove(e.doc, e)
 }
 
 // initTier creates the spill directory, the buffer pool, and recovers any
@@ -86,6 +124,8 @@ func (db *DB) initTier() error {
 		entries:  make(map[uint64]*spillEntry),
 		inflight: make(map[uint64]*reloadOp),
 		spilling: make(map[uint64]bool),
+		baseRefs: make(map[uint64]int),
+		tree:     newPrefixTree[*spillEntry](db.cfg.PrefixChunk),
 	}
 	t.bm = buffer.New(db.cfg.SpillCacheBytes, t.files.Fetcher())
 	db.tier = t
@@ -154,9 +194,23 @@ func (db *DB) spillAll(victims []*Context) {
 // disk), being reloaded, or being written by another eviction, this spill
 // is redundant and skipped — never rewriting a directory a concurrent
 // reader may be paging from.
+//
+// A copy-on-write context spills its base chain first, root outward: the
+// tail's manifest names the base by hash, so the base's directory must
+// exist for the tail to ever be reloadable — even though the base itself
+// is still resident (it was pinned by this context until the eviction
+// released it). The shared prefix bytes land on disk exactly once however
+// many tails reference them; each chain link's write is skipped when its
+// hash is already catalogued.
 func (db *DB) spillOne(ctx *Context) {
+	if ctx.base != nil {
+		db.spillOne(ctx.base)
+	}
 	t := db.tier
-	hash := DocHash(ctx.doc)
+	hash := ctx.hash
+	if hash == 0 {
+		hash = DocHash(ctx.doc)
+	}
 	t.mu.Lock()
 	if e, ok := t.entries[hash]; ok {
 		t.clock++
@@ -185,8 +239,14 @@ func (db *DB) spillOne(ctx *Context) {
 	var drops []*spillEntry
 	if err == nil {
 		t.clock++
-		t.entries[hash] = &spillEntry{hash: hash, dir: dir, doc: ctx.doc, bytes: bytes, lastUsed: t.clock}
-		t.diskBytes += bytes
+		e := &spillEntry{hash: hash, dir: dir, doc: ctx.doc, bytes: bytes, lastUsed: t.clock, baseLen: ctx.baseLen}
+		if ctx.base != nil {
+			e.baseHash = ctx.base.hash
+			if e.baseHash == 0 {
+				e.baseHash = DocHash(ctx.base.doc)
+			}
+		}
+		t.addEntryLocked(e)
 		drops = t.enforceSpillBudgetLocked(hash)
 	}
 	t.mu.Unlock()
@@ -214,9 +274,13 @@ func (t *tierState) enforceSpillBudgetLocked(keep uint64) []*spillEntry {
 	for t.diskBytes > t.budget {
 		var victim *spillEntry
 		for _, e := range t.entries {
-			// Never drop the entry just written, nor one a reload leader is
-			// actively reading from disk.
-			if e.hash == keep || t.inflight[e.hash] != nil {
+			// Never drop the entry just written, one a reload leader is
+			// actively reading from disk, or a base some catalogued
+			// copy-on-write tail still resolves through — deleting it would
+			// strand the tail unloadable. Dropping a tail releases its base
+			// for the next iteration of this loop, so chains drain tail
+			// first.
+			if e.hash == keep || t.inflight[e.hash] != nil || t.baseRefs[e.hash] > 0 {
 				continue
 			}
 			if victim == nil || e.lastUsed < victim.lastUsed {
@@ -224,10 +288,9 @@ func (t *tierState) enforceSpillBudgetLocked(keep uint64) []*spillEntry {
 			}
 		}
 		if victim == nil {
-			break // only the just-written entry remains; keep it
+			break // everything left is protected; keep it
 		}
-		delete(t.entries, victim.hash)
-		t.diskBytes -= victim.bytes
+		t.removeEntryLocked(victim)
 		drops = append(drops, victim)
 	}
 	return drops
@@ -273,8 +336,8 @@ func (db *DB) recoverSpilled() {
 		if _, ok := t.entries[hash]; !ok {
 			t.clock++
 			bytes := dirBytes(dir)
-			t.entries[hash] = &spillEntry{hash: hash, dir: dir, doc: doc, bytes: bytes, lastUsed: t.clock}
-			t.diskBytes += bytes
+			t.addEntryLocked(&spillEntry{hash: hash, dir: dir, doc: doc, bytes: bytes, lastUsed: t.clock,
+				baseHash: man.BaseHash, baseLen: man.BaseLen})
 		}
 		t.mu.Unlock()
 	}
@@ -285,27 +348,35 @@ func (db *DB) recoverSpilled() {
 // spilled context is reloaded and returned with its prefix length; on a
 // miss — or with no tier configured — it returns (nil, 0). A session that
 // starts fully cold (no resident and no spilled prefix) counts as a tier
-// miss.
+// miss; a reload that fails counts a reload error (surfaced through
+// TierStats) and falls back to the resident match.
+//
+// The catalog search runs through the tier's prefix tree — O(prefix/chunk)
+// like the resident lookup, not a scan of every entry. When the winning
+// entry is a copy-on-write tail whose shared prefix alone covers the
+// match, the reload walks down to the deepest catalogued ancestor that
+// still covers it, loading only the chain links actually needed.
 func (db *DB) reloadForPrefix(doc *model.Document, bestLen int) (*Context, int) {
 	t := db.tier
 	if t == nil {
 		return nil, 0
 	}
-	t.mu.Lock()
-	var best *spillEntry
-	plen := bestLen
-	for _, e := range t.entries {
-		if l := commonPrefix(e.doc, doc); l > plen {
-			best, plen = e, l
-		}
-	}
-	t.mu.Unlock()
-	if best == nil {
+	best, plen := t.tree.Lookup(doc)
+	if best == nil || plen <= bestLen {
 		if bestLen == 0 {
 			t.counters.RecordReloadMiss()
 		}
 		return nil, 0
 	}
+	t.mu.Lock()
+	for best.baseHash != 0 && plen <= best.baseLen {
+		be, ok := t.entries[best.baseHash]
+		if !ok {
+			break // base is resident or gone; reload what we have
+		}
+		best = be
+	}
+	t.mu.Unlock()
 	ctx, err := db.reloadSpilled(best)
 	if err != nil {
 		if bestLen == 0 {
@@ -316,6 +387,26 @@ func (db *DB) reloadForPrefix(doc *model.Document, bestLen int) (*Context, int) 
 	return ctx, plen
 }
 
+// resolveSpilledBase materializes a base hash for a copy-on-write reload:
+// resident contexts win (no disk touched); otherwise the base's own spill
+// entry is reloaded recursively, which re-registers it as a resident.
+func (db *DB) resolveSpilledBase(hash uint64) (*Context, error) {
+	db.mu.RLock()
+	ctx := db.byHash[hash]
+	db.mu.RUnlock()
+	if ctx != nil {
+		return ctx, nil
+	}
+	t := db.tier
+	t.mu.Lock()
+	e, ok := t.entries[hash]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: base context %016x neither resident nor spilled", hash)
+	}
+	return db.reloadSpilled(e)
+}
+
 // reloadSpilled brings a spilled context back into the resident store.
 // Concurrent reloads of the same context collapse into one disk load (the
 // followers block until the leader finishes and share its result). On
@@ -323,7 +414,11 @@ func (db *DB) reloadForPrefix(doc *model.Document, bestLen int) (*Context, int) 
 // spill another context — and the spill entry is consumed: catalog entry
 // removed, buffered blocks invalidated, directory deleted. A failed reload
 // also consumes the entry; a spill that cannot be read back will not be
-// read better on retry.
+// read better on retry. Exception: an entry that catalogued copy-on-write
+// tails still depend on (baseRefs > 0) is never consumed — its directory
+// must outlive the reload so the tails stay resolvable, including across a
+// restart — so the context then exists both resident and on disk until
+// the last dependant goes away.
 func (db *DB) reloadSpilled(e *spillEntry) (*Context, error) {
 	t := db.tier
 	t.mu.Lock()
@@ -346,7 +441,7 @@ func (db *DB) reloadSpilled(e *spillEntry) (*Context, error) {
 	t.mu.Unlock()
 
 	start := time.Now()
-	ctx, err := db.readContextDir(e.dir, t.readMatrixBuffered)
+	ctx, err := db.readContextDir(e.dir, t.readMatrixBuffered, db.resolveSpilledBase)
 	if err == nil {
 		err = db.registerContext(ctx)
 	}
@@ -361,9 +456,8 @@ func (db *DB) reloadSpilled(e *spillEntry) (*Context, error) {
 	// can start writing into the path until the deletion has finished.
 	t.mu.Lock()
 	removed := false
-	if cur, ok := t.entries[e.hash]; ok && cur == e {
-		delete(t.entries, e.hash)
-		t.diskBytes -= e.bytes
+	if cur, ok := t.entries[e.hash]; ok && cur == e && t.baseRefs[e.hash] == 0 {
+		t.removeEntryLocked(e)
 		removed = true
 	}
 	t.mu.Unlock()
@@ -450,6 +544,28 @@ func (db *DB) SpilledDIPRS(doc *model.Document, layer, qHead int, q []float32, c
 	kv := db.kvHeadOfGroup(group)
 	slot := layer*man.Groups + group
 
+	if man.BaseHash != 0 {
+		// A copy-on-write tail carries no graphs; the probe is a flat band
+		// scan over the whole logical context, chaining the base chain's
+		// rows (resident caches or spilled files, whichever each link is)
+		// ahead of the tail's own file.
+		var closers []func()
+		defer func() {
+			for _, c := range closers {
+				c()
+			}
+		}()
+		srcs, err := db.chainRowSources(man, e.dir, layer, kv, len(man.Tokens), &closers)
+		if err != nil {
+			return query.Result{}, err
+		}
+		rows, err := storage.NewChainedRows(srcs...)
+		if err != nil {
+			return query.Result{}, err
+		}
+		return coldFlatDIPR(rows, q, cfg)
+	}
+
 	keysPath := filepath.Join(e.dir, fmt.Sprintf("L%dH%d.keys", layer, kv))
 	kf, err := vfs.Open(keysPath)
 	if err != nil {
@@ -506,6 +622,141 @@ func (db *DB) SpilledDIPRS(doc *model.Document, layer, qHead int, q []float32, c
 	copy(out, res.Critical)
 	res.Critical = out
 	return res, nil
+}
+
+// matrixRows adapts a resident key matrix to storage.RowSource so chained
+// cold probes can mix in-memory chain links with demand-paged ones.
+type matrixRows struct{ m *vec.Matrix }
+
+func (r matrixRows) Len() int { return r.m.Rows() }
+func (r matrixRows) Dim() int { return r.m.Cols() }
+func (r matrixRows) Vector(id int, buf []float32) error {
+	if id < 0 || id >= r.m.Rows() {
+		return fmt.Errorf("core: resident row %d out of range [0, %d)", id, r.m.Rows())
+	}
+	copy(buf, r.m.Row(id))
+	return nil
+}
+func (r matrixRows) Scan(emit func(id int, v []float32) error) error {
+	for i := 0; i < r.m.Rows(); i++ {
+		if err := emit(i, r.m.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openSpillRows opens one spilled context directory's (layer, kv) keys as
+// a RowSource — SQ8-decoding when the manifest says the file holds packed
+// codes — appending the file's release to closers.
+func (db *DB) openSpillRows(man *manifest, dir string, layer, kv int, closers *[]func()) (storage.RowSource, error) {
+	t := db.tier
+	kf, err := vfs.Open(filepath.Join(dir, fmt.Sprintf("L%dH%d.keys", layer, kv)))
+	if err != nil {
+		return nil, err
+	}
+	t.files.Add(kf)
+	*closers = append(*closers, func() {
+		t.files.Remove(kf)
+		kf.Close()
+	})
+	vs, err := storage.NewVectorStore(kf, t.bm)
+	if err != nil {
+		return nil, err
+	}
+	var rows storage.RowSource = vs
+	if man.Quant {
+		rows, err = storage.NewQuantRows(vs, man.QuantScales[layer*db.cfg.Model.Config().KVHeads+kv], db.cfg.Model.Config().HeadDim)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// chainRowSources builds the row sources covering rows [0, upTo) of a
+// spilled context described by man: the base chain's contribution first
+// (capped at the shared prefix length), then the context's own rows. The
+// caller runs closers when done scanning.
+func (db *DB) chainRowSources(man *manifest, dir string, layer, kv, upTo int, closers *[]func()) ([]storage.RowSource, error) {
+	var srcs []storage.RowSource
+	if man.BaseHash != 0 && upTo > 0 {
+		cover := man.BaseLen
+		if cover > upTo {
+			cover = upTo
+		}
+		bs, err := db.baseRowSources(man.BaseHash, layer, kv, cover, closers)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, bs...)
+	}
+	if own := upTo - man.BaseLen; own > 0 {
+		src, err := db.openSpillRows(man, dir, layer, kv, closers)
+		if err != nil {
+			return nil, err
+		}
+		if own < src.Len() {
+			if src, err = storage.NewPrefixRows(src, own); err != nil {
+				return nil, err
+			}
+		}
+		srcs = append(srcs, src)
+	}
+	return srcs, nil
+}
+
+// baseRowSources resolves a base hash to the row sources covering its
+// first upTo rows: a resident context serves from memory (its own chain,
+// recursively), a spilled one from its directory.
+func (db *DB) baseRowSources(hash uint64, layer, kv, upTo int, closers *[]func()) ([]storage.RowSource, error) {
+	db.mu.RLock()
+	ctx := db.byHash[hash]
+	db.mu.RUnlock()
+	if ctx != nil {
+		return residentRowSources(ctx, layer, kv, upTo)
+	}
+	t := db.tier
+	t.mu.Lock()
+	e, ok := t.entries[hash]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: base context %016x neither resident nor spilled", hash)
+	}
+	man, err := db.readManifest(e.dir)
+	if err != nil {
+		return nil, err
+	}
+	return db.chainRowSources(man, e.dir, layer, kv, upTo, closers)
+}
+
+// residentRowSources covers rows [0, upTo) of a resident context from its
+// chain's caches. Quant-enabled caches expose the snapped fp32 key plane,
+// so scores match what the packed spill file would decode to.
+func residentRowSources(ctx *Context, layer, kv, upTo int) ([]storage.RowSource, error) {
+	var srcs []storage.RowSource
+	if ctx.base != nil && upTo > 0 {
+		cover := ctx.baseLen
+		if cover > upTo {
+			cover = upTo
+		}
+		bs, err := residentRowSources(ctx.base, layer, kv, cover)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, bs...)
+	}
+	if own := upTo - ctx.baseLen; own > 0 {
+		var src storage.RowSource = matrixRows{m: ctx.cache.Keys(layer, kv)}
+		if own < src.Len() {
+			var err error
+			if src, err = storage.NewPrefixRows(src, own); err != nil {
+				return nil, err
+			}
+		}
+		srcs = append(srcs, src)
+	}
+	return srcs, nil
 }
 
 // coldFlatDIPR is the index-less cold probe: a sequential block scan over

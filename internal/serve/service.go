@@ -270,6 +270,25 @@ type StatsResponse struct {
 	ReloadP95Millis  float64 `json:"reload_p95_ms,omitempty"`
 	SpillCacheHits   int64   `json:"spill_cache_hits,omitempty"`
 	SpillCacheMisses int64   `json:"spill_cache_misses,omitempty"`
+	// Tier failure counters: spills that could not be written (the context
+	// was dropped instead) and spilled contexts that could not be read
+	// back (the session fell back to its best resident prefix). Nonzero
+	// values mean re-prefill work the tier silently ate.
+	SpillErrors  int64 `json:"spill_errors,omitempty"`
+	ReloadErrors int64 `json:"reload_errors,omitempty"`
+	// Prefix sharing (PRs 1-7): resident copy-on-write contexts, pinned
+	// (unevictable) contexts, and the bytes shared bases serve to their
+	// dependants without duplication, plus the prefix-tree activity
+	// counters behind CreateSession's lookup and Store's copy-on-write
+	// path.
+	SharedContexts    int   `json:"shared_contexts,omitempty"`
+	PinnedContexts    int   `json:"pinned_contexts,omitempty"`
+	SharedPrefixBytes int64 `json:"shared_prefix_bytes,omitempty"`
+	PrefixTreeDocs    int   `json:"prefix_tree_docs,omitempty"`
+	PrefixLookups     int64 `json:"prefix_lookups,omitempty"`
+	PrefixHits        int64 `json:"prefix_hits,omitempty"`
+	PrefixSpillHits   int64 `json:"prefix_spill_hits,omitempty"`
+	CoWStores         int64 `json:"cow_stores,omitempty"`
 	// Stored KV footprint split by plane (always present): with the SQ8
 	// plane enabled the scoring traffic runs over KeyQuantBytes — about a
 	// quarter of KeyBytes — while KeyBytes is the fp32 mirror touched only
@@ -719,7 +738,18 @@ func (s *Service) Stats() (resp *StatsResponse, err error) {
 		resp.ReloadP95Millis = float64(ts.Counters.ReloadP95) / float64(time.Millisecond)
 		resp.SpillCacheHits = ts.Buffer.Hits
 		resp.SpillCacheMisses = ts.Buffer.Misses
+		resp.SpillErrors = ts.Counters.SpillErrors
+		resp.ReloadErrors = ts.Counters.ReloadErrors
 	}
+	sh := s.db.SharingStats()
+	resp.SharedContexts = sh.SharedContexts
+	resp.PinnedContexts = sh.PinnedContexts
+	resp.SharedPrefixBytes = sh.SharedPrefixBytes
+	resp.PrefixTreeDocs = sh.PrefixTreeDocs
+	resp.PrefixLookups = sh.Counters.PrefixLookups
+	resp.PrefixHits = sh.Counters.PrefixHits
+	resp.PrefixSpillHits = sh.Counters.PrefixSpillHits
+	resp.CoWStores = sh.Counters.CoWStores
 	if s.sched != nil {
 		snap := s.sched.Stats()
 		resp.Sched = &snap

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Chained and truncated row sources: the cold probe path over a
+// copy-on-write spilled context reads the shared prefix from the base
+// chain's files (or resident caches) and the divergent tail from the
+// context's own file, presented as one contiguous id space so the flat
+// DIPR scan is oblivious to where the rows physically live.
+
+// ChainedRows concatenates RowSources into one id space: rows
+// [0, srcs[0].Len()) come from the first source, the next source picks up
+// where it left off, and so on. All sources must share a dimensionality.
+type ChainedRows struct {
+	srcs []RowSource
+	offs []int // offs[i] is the first global id of srcs[i]
+	n    int
+	dim  int
+}
+
+// NewChainedRows assembles a chain. At least one source is required.
+func NewChainedRows(srcs ...RowSource) (*ChainedRows, error) {
+	if len(srcs) == 0 {
+		return nil, errors.New("storage: chained rows need at least one source")
+	}
+	c := &ChainedRows{srcs: srcs, offs: make([]int, len(srcs)), dim: srcs[0].Dim()}
+	for i, s := range srcs {
+		if s.Dim() != c.dim {
+			return nil, fmt.Errorf("storage: chained source %d has dim %d, want %d", i, s.Dim(), c.dim)
+		}
+		c.offs[i] = c.n
+		c.n += s.Len()
+	}
+	return c, nil
+}
+
+// Len returns the total row count across all sources.
+func (c *ChainedRows) Len() int { return c.n }
+
+// Dim returns the shared row dimensionality.
+func (c *ChainedRows) Dim() int { return c.dim }
+
+// Vector reads global row id from whichever source holds it.
+func (c *ChainedRows) Vector(id int, buf []float32) error {
+	if id < 0 || id >= c.n {
+		return fmt.Errorf("storage: chained row %d out of range [0, %d)", id, c.n)
+	}
+	// Linear probe from the back: chains are short (one link per store
+	// generation), and tails — the most recently written rows — are probed
+	// most often.
+	for i := len(c.srcs) - 1; i >= 0; i-- {
+		if id >= c.offs[i] {
+			return c.srcs[i].Vector(id-c.offs[i], buf)
+		}
+	}
+	return fmt.Errorf("storage: chained row %d unmapped", id)
+}
+
+// Scan streams every row of every source in global id order.
+func (c *ChainedRows) Scan(emit func(id int, v []float32) error) error {
+	for i, s := range c.srcs {
+		off := c.offs[i]
+		if err := s.Scan(func(id int, v []float32) error {
+			return emit(off+id, v)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errStopScan terminates a PrefixRows scan once the prefix is exhausted;
+// it never escapes to callers.
+var errStopScan = errors.New("storage: stop scan")
+
+// PrefixRows exposes the first n rows of a source — a copy-on-write chain
+// link contributes only the rows below the next link's divergence point,
+// which can be fewer than the link physically stores.
+type PrefixRows struct {
+	src RowSource
+	n   int
+}
+
+// NewPrefixRows truncates src to its first n rows.
+func NewPrefixRows(src RowSource, n int) (*PrefixRows, error) {
+	if n < 0 || n > src.Len() {
+		return nil, fmt.Errorf("storage: prefix of %d rows from a %d-row source", n, src.Len())
+	}
+	return &PrefixRows{src: src, n: n}, nil
+}
+
+// Len returns the truncated row count.
+func (p *PrefixRows) Len() int { return p.n }
+
+// Dim returns the underlying dimensionality.
+func (p *PrefixRows) Dim() int { return p.src.Dim() }
+
+// Vector reads row id, which must fall inside the prefix.
+func (p *PrefixRows) Vector(id int, buf []float32) error {
+	if id < 0 || id >= p.n {
+		return fmt.Errorf("storage: prefix row %d out of range [0, %d)", id, p.n)
+	}
+	return p.src.Vector(id, buf)
+}
+
+// Scan streams rows [0, n) and stops — later rows are never paged in.
+func (p *PrefixRows) Scan(emit func(id int, v []float32) error) error {
+	if p.n == 0 {
+		return nil
+	}
+	err := p.src.Scan(func(id int, v []float32) error {
+		if id >= p.n {
+			return errStopScan
+		}
+		return emit(id, v)
+	})
+	if errors.Is(err, errStopScan) {
+		return nil
+	}
+	return err
+}

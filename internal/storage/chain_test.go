@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// memRows is an in-memory RowSource whose row i holds the value base+i in
+// every dimension, making global-id mapping errors immediately visible.
+type memRows struct {
+	base float32
+	n    int
+	dim  int
+}
+
+func (m *memRows) Len() int { return m.n }
+func (m *memRows) Dim() int { return m.dim }
+
+func (m *memRows) Vector(id int, buf []float32) error {
+	if id < 0 || id >= m.n {
+		return fmt.Errorf("memRows: row %d out of range", id)
+	}
+	for j := range buf {
+		buf[j] = m.base + float32(id)
+	}
+	return nil
+}
+
+func (m *memRows) Scan(emit func(id int, v []float32) error) error {
+	buf := make([]float32, m.dim)
+	for i := 0; i < m.n; i++ {
+		m.Vector(i, buf)
+		if err := emit(i, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestChainedRows(t *testing.T) {
+	// Three links: rows 0-4 valued 100+i, rows 5-7 valued 200+(i-5),
+	// rows 8-9 valued 300+(i-8).
+	c, err := NewChainedRows(&memRows{100, 5, 3}, &memRows{200, 3, 3}, &memRows{300, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 10 || c.Dim() != 3 {
+		t.Fatalf("len/dim = %d/%d", c.Len(), c.Dim())
+	}
+	want := func(id int) float32 {
+		switch {
+		case id < 5:
+			return 100 + float32(id)
+		case id < 8:
+			return 200 + float32(id-5)
+		default:
+			return 300 + float32(id-8)
+		}
+	}
+	buf := make([]float32, 3)
+	for id := 0; id < 10; id++ {
+		if err := c.Vector(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != want(id) {
+			t.Errorf("row %d = %v, want %v", id, buf[0], want(id))
+		}
+	}
+	for _, bad := range []int{-1, 10} {
+		if err := c.Vector(bad, buf); err == nil {
+			t.Errorf("row %d accepted", bad)
+		}
+	}
+	// Scan emits every row once, in global id order, with chained values.
+	next := 0
+	err = c.Scan(func(id int, v []float32) error {
+		if id != next {
+			return fmt.Errorf("scan id %d, want %d", id, next)
+		}
+		if v[0] != want(id) {
+			return fmt.Errorf("scan row %d = %v, want %v", id, v[0], want(id))
+		}
+		next++
+		return nil
+	})
+	if err != nil || next != 10 {
+		t.Fatalf("scan: %v (emitted %d rows)", err, next)
+	}
+	// Emit errors propagate.
+	boom := errors.New("boom")
+	if err := c.Scan(func(int, []float32) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("scan error = %v, want boom", err)
+	}
+}
+
+func TestChainedRowsValidation(t *testing.T) {
+	if _, err := NewChainedRows(); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChainedRows(&memRows{0, 2, 3}, &memRows{0, 2, 4}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestPrefixRows(t *testing.T) {
+	src := &memRows{100, 8, 2}
+	p, err := NewPrefixRows(src, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 || p.Dim() != 2 {
+		t.Fatalf("len/dim = %d/%d", p.Len(), p.Dim())
+	}
+	buf := make([]float32, 2)
+	if err := p.Vector(4, buf); err != nil || buf[0] != 104 {
+		t.Fatalf("row 4 = %v, err %v", buf[0], err)
+	}
+	// Rows past the prefix are unreachable even though the source has them.
+	if err := p.Vector(5, buf); err == nil {
+		t.Error("row past prefix accepted")
+	}
+	emitted := 0
+	if err := p.Scan(func(id int, v []float32) error {
+		emitted++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 5 {
+		t.Errorf("scan emitted %d rows, want 5", emitted)
+	}
+	// The internal stop sentinel must not leak, but a caller error must.
+	boom := errors.New("boom")
+	if err := p.Scan(func(int, []float32) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("scan error = %v, want boom", err)
+	}
+	// Bounds and the empty prefix.
+	if _, err := NewPrefixRows(src, 9); err == nil {
+		t.Error("prefix longer than source accepted")
+	}
+	if _, err := NewPrefixRows(src, -1); err == nil {
+		t.Error("negative prefix accepted")
+	}
+	empty, err := NewPrefixRows(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Scan(func(int, []float32) error { return boom }); err != nil {
+		t.Errorf("empty prefix scan = %v, want nil without emitting", err)
+	}
+
+	// A prefix-truncated chain composes: the cold probe's actual shape.
+	c, err := NewChainedRows(&memRows{100, 4, 2}, &memRows{200, 4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPrefixRows(c, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := -1
+	if err := pc.Scan(func(id int, v []float32) error { last = id; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if last != 5 {
+		t.Errorf("chained prefix scan stopped at %d, want 5", last)
+	}
+}
