@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-batching bench-prefix cover fuzz fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-serving-grpc bench-batching bench-prefix proto cover fuzz fmt vet
 
 all: build vet test
 
@@ -51,6 +51,14 @@ SERVING_JSON ?= BENCH_PR5.json
 bench-serving:
 	$(GO) run ./cmd/alayabench -exp serving -context 512 -trials 3 -json $(SERVING_JSON)
 
+# gRPC transport experiment: the v2 binary decode path over the h2c gRPC
+# wire vs the binary HTTP baseline, both listeners fronting one Service,
+# with the PR 8 perf artefact. Same scale rationale as bench-serving:
+# small context isolates transport cost.
+GRPC_JSON ?= BENCH_PR8.json
+bench-serving-grpc:
+	$(GO) run ./cmd/alayabench -exp serving-grpc -context 512 -trials 3 -json $(GRPC_JSON)
+
 # Continuous-batching experiment: serial per-request v2 step (the PR 5
 # execution model) vs the scheduled step/steps/stream modes at 1/4/16
 # concurrent sessions, with the PR 6 perf artefact. Tiny model geometry
@@ -68,6 +76,12 @@ bench-batching:
 PREFIX_JSON ?= BENCH_PR7.json
 bench-prefix:
 	$(GO) run ./cmd/alayabench -exp prefix -context 2048 -trials 2 -json $(PREFIX_JSON)
+
+# Regenerate the committed gRPC protobuf artefacts (alaya.pb.go and
+# alaya.proto) from the descriptor table in the generator; CI fails if
+# the committed files drift from the generator's output.
+proto:
+	$(GO) run ./internal/serve/grpc/pb/gen -dir internal/serve/grpc/pb
 
 # Coverage ratchet: fail if total statement coverage falls below COVER_MIN.
 COVER_MIN ?= 80.0

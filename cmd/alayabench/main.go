@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, batching, or prefix: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, serving-grpc, batching, or prefix: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -89,6 +89,12 @@ func main() {
 				bench.WriteServingTable(d, os.Stdout)
 				data = d
 			}
+		case "serving-grpc":
+			var d *bench.GRPCServingReportData
+			if d, err = bench.GRPCServingReport(scale); err == nil {
+				bench.WriteGRPCServingTable(d, os.Stdout)
+				data = d
+			}
 		case "batching":
 			var d *bench.BatchingReportData
 			if d, err = bench.BatchingReport(scale); err == nil {
@@ -102,7 +108,7 @@ func main() {
 				data = d
 			}
 		default:
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, batching, or prefix")
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, serving-grpc, batching, or prefix")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -1,27 +1,30 @@
 // Command alayad runs AlayaDB as a standalone attention service: inference
-// engines connect over HTTP, create sessions against stored contexts, ship
-// generated tokens in and get attention outputs back — the decoupled
-// deployment of Figure 2(d).
+// engines connect over HTTP or gRPC, create sessions against stored
+// contexts, ship generated tokens in and get attention outputs back — the
+// decoupled deployment of Figure 2(d).
 //
-//	alayad -addr :8265 -layers 4 -device-gb 0.2
+//	alayad -addr :8265 -grpc-addr :8266 -layers 4 -device-gb 0.2
 //
 // A v2 engine decodes one token per round trip through POST
-// /v1/sessions/{id}/step (binary or JSON body); the v1 per-layer surface
-// stays available. GET /v1/healthz answers load-balancer probes, and
-// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
-// in-flight requests finish, sessions are closed, then the process exits.
-// See internal/serve for the endpoint reference and pkg/alayaclient for
-// the Go SDK.
+// /v1/sessions/{id}/step (binary or JSON body) or the alaya.v1.AlayaDB/Step
+// RPC; the v1 per-layer surface stays available. Both transports front one
+// service core, so sessions created over one are visible to the other.
+// GET /v1/healthz answers load-balancer probes, and SIGINT/SIGTERM trigger
+// a graceful drain: every listener stops accepting, in-flight requests
+// finish, sessions are closed, then the process exits. See internal/serve
+// for the endpoint reference and pkg/alayaclient for the Go SDK.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -31,11 +34,23 @@ import (
 	"repro/internal/model"
 	"repro/internal/pool"
 	"repro/internal/serve"
+	agrpc "repro/internal/serve/grpc"
 )
 
+// main stays a thin shell around run so that every exit path — including
+// listener failures — unwinds run's defers: log.Fatalf calls os.Exit,
+// which would skip closing the database (and with it the spill tier's
+// persistence) if the fatal paths lived inside the same frame.
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("alayad: %v", err)
+	}
+}
+
+func run() error {
 	var (
-		addr      = flag.String("addr", ":8265", "listen address")
+		addr      = flag.String("addr", ":8265", "HTTP listen address")
+		grpcAddr  = flag.String("grpc-addr", "", "gRPC (h2c) listen address for the alaya.v1.AlayaDB service (empty = gRPC off)")
 		layers    = flag.Int("layers", 4, "model layers")
 		qheads    = flag.Int("qheads", 8, "query heads per layer")
 		kvheads   = flag.Int("kvheads", 2, "kv heads per layer")
@@ -83,7 +98,7 @@ func main() {
 		QuantKeys:       *quant,
 	})
 	if err != nil {
-		log.Fatalf("alayad: %v", err)
+		return err
 	}
 	defer db.Close()
 
@@ -92,6 +107,7 @@ func main() {
 		serve.WithMaxBodyBytes(int64(*maxBodyMB*(1<<20))),
 		serve.WithWaveSize(*schedWave),
 		serve.WithQueueDepth(*schedQ))
+	defer srv.Close()
 	keyPlane := "fp32"
 	if *quant {
 		keyPlane = "sq8+fp32 rerank"
@@ -110,30 +126,58 @@ func main() {
 			ts.Dir, *spillGB, ts.SpilledContexts)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	// Both transports front the one Service: same sessions, same metrics,
+	// same scheduler. serveErr is sized for every listener so a loser's
+	// ErrServerClosed during shutdown never blocks its goroutine.
+	listeners := []*http.Server{{Addr: *addr, Handler: srv.Handler()}}
+	if *grpcAddr != "" {
+		gsrv := agrpc.NewServer(srv.Service())
+		listeners = append(listeners, agrpc.NewHTTPServer(*grpcAddr, gsrv.Handler()))
+		log.Printf("alayad: serving gRPC (%s) on %s", "alaya.v1.AlayaDB", *grpcAddr)
+	}
+	serveErr := make(chan error, len(listeners))
+	for _, hs := range listeners {
+		hs := hs
+		go func() {
+			if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				serveErr <- fmt.Errorf("listener %s: %w", hs.Addr, err)
+			} else {
+				serveErr <- nil
+			}
+		}()
+	}
 
-	// Graceful shutdown: stop accepting, let in-flight requests finish
-	// within the drain deadline, then close every session so the daemon is
-	// safe to cycle behind a load balancer.
+	// Graceful shutdown: stop accepting on every listener, let in-flight
+	// requests finish within the drain deadline, then close every session
+	// so the daemon is safe to cycle behind a load balancer.
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-serveErr:
-		srv.Close()
-		log.Fatalf("alayad: %v", err)
+		if err != nil {
+			return err
+		}
+		return errors.New("listener closed unexpectedly")
 	case <-sigCtx.Done():
 	}
 	stop()
 	log.Printf("alayad: shutting down (draining up to %ds)", *drainSecs)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("alayad: shutdown: %v", err)
+	var wg sync.WaitGroup
+	for _, hs := range listeners {
+		wg.Add(1)
+		go func(hs *http.Server) {
+			defer wg.Done()
+			if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("alayad: shutdown %s: %v", hs.Addr, err)
+			}
+		}(hs)
 	}
+	wg.Wait()
 	if err := srv.Close(); err != nil {
 		log.Printf("alayad: closing sessions: %v", err)
 	}
 	log.Printf("alayad: drained")
+	return nil
 }

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/core"
+	"repro/internal/devmem"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/serve"
+	agrpc "repro/internal/serve/grpc"
+	"repro/internal/workload"
+	"repro/pkg/alayaclient"
+)
+
+func init() {
+	register("serving-grpc", "gRPC transport cost: v2 decode over the h2c gRPC wire vs the binary-HTTP baseline, step/steps/stream tokens/sec through the SDK", runGRPCServing)
+}
+
+// GRPCServingRow is one transport/mode configuration's measured decode
+// throughput.
+type GRPCServingRow struct {
+	// Name identifies transport and mode: http/step, grpc/step,
+	// http/stepsN, grpc/stepsN, http/streamN, grpc/streamN.
+	Name string `json:"name"`
+	// TokensPerSec is end-to-end decode throughput through the SDK over a
+	// real loopback listener, attention compute included.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+}
+
+// GRPCServingReportData is the machine-readable artefact of the
+// serving-grpc experiment (written to BENCH_PR8.json by CI): what the
+// gRPC transport costs per decoded token against the v2 binary-HTTP
+// baseline, both fronting one Service. Both wires carry the identical
+// binary tensor frames, so any gap is pure transport machinery (HTTP/2
+// framing, proto envelopes, trailer handling).
+type GRPCServingReportData struct {
+	ContextLen   int              `json:"context_len"`
+	Layers       int              `json:"layers"`
+	QHeads       int              `json:"q_heads"`
+	DecodeTokens int              `json:"decode_tokens"`
+	Rows         []GRPCServingRow `json:"rows"`
+	// GRPCOverHTTPStep is grpc/step throughput over http/step — the
+	// headline ratio (expected near 1.0: same frames, different envelope).
+	GRPCOverHTTPStep float64 `json:"grpc_over_http_step"`
+}
+
+// GRPCServingReport measures decode tokens/sec over the HTTP and gRPC
+// transports at scale s. Both listeners front one Service over one
+// stored context; every mode decodes the same token sequence with the
+// same precomputed queries against its own session, so elapsed time
+// isolates transport cost.
+func GRPCServingReport(s Scale) (*GRPCServingReportData, error) {
+	s.Defaults()
+	m := model.New(s.Model)
+	mc := m.Config()
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(mc.Layers) * int64(mc.KVHeads) * int64(mc.HeadDim) * 4 * 2
+	dev := devmem.New(m.WeightsBytes() + 8*winBytes + 4096)
+	db, err := core.New(core.Config{
+		Model:         m,
+		Device:        dev,
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers},
+		Workers:       s.Workers,
+		Pool:          pool.Default(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+	if _, err := db.ImportDoc(inst.Doc); err != nil {
+		return nil, err
+	}
+
+	srv := serve.NewServer(db)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	gsrv := agrpc.NewServer(srv.Service())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ghs := agrpc.NewHTTPServer(ln.Addr().String(), gsrv.Handler())
+	go ghs.Serve(ln)
+	defer ghs.Close()
+
+	tokens := 8 * s.Trials
+	const batchSize = 8
+	if rem := tokens % batchSize; rem != 0 {
+		tokens += batchSize - rem
+	}
+	tok := inst.Doc.Tokens[inst.Doc.Len()-1]
+	queries := make([][][][]float32, tokens)
+	for i := range queries {
+		queries[i] = make([][][]float32, mc.Layers)
+		for l := range queries[i] {
+			queries[i][l] = make([][]float32, mc.QHeads)
+			for h := range queries[i][l] {
+				queries[i][l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+					FocusTopics: inst.Question, Step: i, ContextLen: inst.Doc.Len()})
+			}
+		}
+	}
+
+	data := &GRPCServingReportData{
+		ContextLen:   inst.Doc.Len(),
+		Layers:       mc.Layers,
+		QHeads:       mc.QHeads,
+		DecodeTokens: tokens,
+	}
+
+	ctx := context.Background()
+	measure := func(name string, cli *alayaclient.Client, run func(sess *alayaclient.Session) error) error {
+		sess, err := servingSession(ctx, cli, inst.Doc)
+		if err != nil {
+			return err
+		}
+		defer sess.CloseSession(ctx)
+		// One untimed step warms the connection (the h2c handshake on the
+		// gRPC side) and the server's arena pools.
+		if _, err := sess.Step(ctx, tok, queries[0]); err != nil {
+			return fmt.Errorf("serving-grpc: %s warm: %w", name, err)
+		}
+		start := time.Now()
+		if err := run(sess); err != nil {
+			return fmt.Errorf("serving-grpc: %s: %w", name, err)
+		}
+		elapsed := time.Since(start)
+		data.Rows = append(data.Rows, GRPCServingRow{
+			Name:         name,
+			TokensPerSec: float64(tokens) / elapsed.Seconds(),
+		})
+		return nil
+	}
+
+	runStep := func(sess *alayaclient.Session) error {
+		for i := 0; i < tokens; i++ {
+			if _, err := sess.Step(ctx, tok, queries[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runSteps := func(sess *alayaclient.Session) error {
+		for i := 0; i < tokens; i += batchSize {
+			reqs := make([]alayaclient.StepRequest, batchSize)
+			for j := range reqs {
+				reqs[j] = alayaclient.StepRequest{Token: tok, Queries: queries[i+j]}
+			}
+			if _, err := sess.Steps(ctx, reqs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runStream := func(sess *alayaclient.Session) error {
+		for i := 0; i < tokens; i += batchSize {
+			reqs := make([]alayaclient.StepRequest, batchSize)
+			for j := range reqs {
+				reqs[j] = alayaclient.StepRequest{Token: tok, Queries: queries[i+j]}
+			}
+			stream, err := sess.StepStream(ctx, reqs)
+			if err != nil {
+				return err
+			}
+			for {
+				if _, err := stream.Recv(); err == io.EOF {
+					break
+				} else if err != nil {
+					stream.Close()
+					return err
+				}
+			}
+			if err := stream.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	httpCli := mustClient(ts.URL)
+	grpcCli, err := alayaclient.NewClient(alayaclient.WithGRPCAddr(ln.Addr().String()))
+	if err != nil {
+		return nil, err
+	}
+	defer grpcCli.Close()
+
+	modes := []struct {
+		name string
+		cli  *alayaclient.Client
+		run  func(sess *alayaclient.Session) error
+	}{
+		{"http/step", httpCli, runStep},
+		{"grpc/step", grpcCli, runStep},
+		{fmt.Sprintf("http/steps%d", batchSize), httpCli, runSteps},
+		{fmt.Sprintf("grpc/steps%d", batchSize), grpcCli, runSteps},
+		{fmt.Sprintf("http/stream%d", batchSize), httpCli, runStream},
+		{fmt.Sprintf("grpc/stream%d", batchSize), grpcCli, runStream},
+	}
+	for _, mode := range modes {
+		if err := measure(mode.name, mode.cli, mode.run); err != nil {
+			return nil, err
+		}
+	}
+	data.GRPCOverHTTPStep = data.Rows[1].TokensPerSec / data.Rows[0].TokensPerSec
+	return data, nil
+}
+
+// WriteGRPCServingTable renders the report as the experiment's textual
+// artefact.
+func WriteGRPCServingTable(data *GRPCServingReportData, w io.Writer) {
+	fmt.Fprintf(w, "gRPC transport cost: context %d, %d layers x %d heads, %d decode tokens, one Service behind both listeners\n\n",
+		data.ContextLen, data.Layers, data.QHeads, data.DecodeTokens)
+	t := &table{header: []string{"transport/mode", "tokens/sec"}}
+	for _, r := range data.Rows {
+		t.add(r.Name, fmt.Sprintf("%.1f", r.TokensPerSec))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\ngrpc/step vs http/step: %.2fx\n", data.GRPCOverHTTPStep)
+	fmt.Fprintln(w, "expectation: near 1x — both wires carry identical binary tensor frames; the gap is transport machinery only")
+}
+
+// runGRPCServing is the experiment runner.
+func runGRPCServing(s Scale, w io.Writer) error {
+	data, err := GRPCServingReport(s)
+	if err != nil {
+		return err
+	}
+	WriteGRPCServingTable(data, w)
+	return nil
+}

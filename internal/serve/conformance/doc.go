@@ -1,0 +1,18 @@
+// Package conformance holds the transport-conformance suite: black-box
+// tests that mount the HTTP and gRPC transports over one serve.Service
+// and require them to agree. Three contracts are pinned:
+//
+//   - Error model: every typed serve.Kind a probe can provoke surfaces on
+//     both transports with the same kind, mapped to the transport-native
+//     status by serve.HTTPStatus on HTTP and grpc.CodeForKind on gRPC.
+//   - Bit-exactness: step and batched-step responses to identical inputs
+//     are byte-for-byte identical across both transports and the direct
+//     in-process Service call — the transports add framing, never
+//     re-encoding.
+//   - Streaming overlap: a step_stream item is readable off the wire
+//     while the scheduler's next wave is still held at the wave gate, on
+//     both transports, so neither wire buffers a stream to its end.
+//
+// The package has no non-test API; it exists so every future transport
+// (or change to an existing one) has a single suite to answer to.
+package conformance

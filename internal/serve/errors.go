@@ -27,9 +27,15 @@ const (
 	// does not speak.
 	KindUnsupportedMedia Kind = "unsupported_media"
 	// KindOverloaded marks a request shed by admission control: the
-	// decode scheduler's bounded queue is full (or shutting down) and the
-	// client should back off and retry.
+	// decode scheduler's bounded queue is full and the client should back
+	// off and retry against the same server.
 	KindOverloaded Kind = "overloaded"
+	// KindUnavailable marks a request refused because the service is
+	// shutting down (drain). Distinct from KindOverloaded so a load
+	// balancer can tell "this replica is going away — resubmit elsewhere"
+	// (503/UNAVAILABLE) from "this replica is busy — back off and retry
+	// here" (429/RESOURCE_EXHAUSTED).
+	KindUnavailable Kind = "unavailable"
 	// KindInternal marks a server-side failure.
 	KindInternal Kind = "internal"
 )
@@ -65,6 +71,7 @@ var (
 	ErrTooLarge         = &Error{Kind: KindTooLarge}
 	ErrUnsupportedMedia = &Error{Kind: KindUnsupportedMedia}
 	ErrOverloaded       = &Error{Kind: KindOverloaded}
+	ErrUnavailable      = &Error{Kind: KindUnavailable}
 	ErrInternal         = &Error{Kind: KindInternal}
 )
 
@@ -92,6 +99,11 @@ func Overloadedf(format string, args ...interface{}) *Error {
 	return errf(KindOverloaded, format, args...)
 }
 
+// Unavailablef builds a KindUnavailable error.
+func Unavailablef(format string, args ...interface{}) *Error {
+	return errf(KindUnavailable, format, args...)
+}
+
 // Internalf builds a KindInternal error.
 func Internalf(format string, args ...interface{}) *Error {
 	return errf(KindInternal, format, args...)
@@ -114,6 +126,8 @@ func HTTPStatus(kind Kind) int {
 		return http.StatusUnsupportedMediaType
 	case KindOverloaded:
 		return http.StatusTooManyRequests
+	case KindUnavailable:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

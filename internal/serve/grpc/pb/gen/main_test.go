@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestCommittedArtifactsMatchGenerator is the in-process face of the CI
+// drift check: the committed alaya.pb.go and alaya.proto must be exactly
+// what the descriptor table emits, so `make test` catches a table edit
+// whose `make proto` step was forgotten before CI does.
+func TestCommittedArtifactsMatchGenerator(t *testing.T) {
+	for name, gen := range map[string][]byte{
+		"alaya.pb.go": emitGo(),
+		"alaya.proto": emitProto(),
+	} {
+		committed, err := os.ReadFile("../" + name)
+		if err != nil {
+			t.Fatalf("read committed %s: %v", name, err)
+		}
+		if !bytes.Equal(committed, gen) {
+			t.Errorf("%s drifted from the descriptor table: run `make proto` (committed %d bytes, generated %d bytes)",
+				name, len(committed), len(gen))
+		}
+	}
+}
+
+// TestTypeMapping pins the descriptor-kind → Go/proto type tables.
+func TestTypeMapping(t *testing.T) {
+	cases := []struct {
+		f         field
+		wantGo    string
+		wantProto string
+	}{
+		{field{kind: "sint64"}, "int64", "sint64"},
+		{field{kind: "int64"}, "int64", "int64"},
+		{field{kind: "uint64"}, "uint64", "uint64"},
+		{field{kind: "float"}, "float32", "float"},
+		{field{kind: "bool"}, "bool", "bool"},
+		{field{kind: "bytes"}, "[]byte", "bytes"},
+		{field{kind: "string"}, "string", "string"},
+		{field{kind: "message", msg: "Token"}, "Token", "Token"},
+		{field{kind: "message", msg: "Token", repeated: true}, "[]Token", "repeated Token"},
+	}
+	for _, c := range cases {
+		if got := goType(c.f); got != c.wantGo {
+			t.Errorf("goType(%s repeated=%v) = %q, want %q", c.f.kind, c.f.repeated, got, c.wantGo)
+		}
+		if got := protoType(c.f); got != c.wantProto {
+			t.Errorf("protoType(%s repeated=%v) = %q, want %q", c.f.kind, c.f.repeated, got, c.wantProto)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("goType on an unknown kind should panic")
+		}
+	}()
+	goType(field{kind: "map"})
+}
+
+// TestSchemaInvariants guards the wire contract encoded in the table:
+// field numbers are unique per message, every message referenced by a
+// field or method exists, and streaming is declared only where the
+// transport implements it.
+func TestSchemaInvariants(t *testing.T) {
+	byName := map[string]bool{}
+	for _, msg := range messages {
+		if byName[msg.name] {
+			t.Errorf("duplicate message %s", msg.name)
+		}
+		byName[msg.name] = true
+		nums := map[int]bool{}
+		for _, f := range msg.fields {
+			if f.num <= 0 || nums[f.num] {
+				t.Errorf("%s.%s: bad or duplicate field number %d", msg.name, f.goName, f.num)
+			}
+			nums[f.num] = true
+			if f.repeated && f.kind != "message" {
+				t.Errorf("%s.%s: repeated is only supported for message fields", msg.name, f.goName)
+			}
+		}
+	}
+	for _, msg := range messages {
+		for _, f := range msg.fields {
+			if f.kind == "message" && !byName[f.msg] {
+				t.Errorf("%s.%s references unknown message %s", msg.name, f.goName, f.msg)
+			}
+		}
+	}
+	for _, m := range methods {
+		if !byName[m.in] || !byName[m.out] {
+			t.Errorf("method %s references unknown message (%s, %s)", m.name, m.in, m.out)
+		}
+		if m.stream && m.name != "StepStream" {
+			t.Errorf("method %s declares streaming; only StepStream streams", m.name)
+		}
+	}
+}

@@ -121,7 +121,11 @@ func (j *stepJob) finish(resp *StepResponse, err error) {
 }
 
 // errShutdown is what queued work drains with when the scheduler closes.
-var errShutdown = &Error{Kind: KindOverloaded, Message: "service shutting down"}
+// It is KindUnavailable (503/UNAVAILABLE), not KindOverloaded (429): drain
+// means "this replica is going away — resubmit elsewhere", where the
+// overloaded rejection means "back off and retry here". A load balancer
+// that conflated the two would keep hammering a dying replica.
+var errShutdown = &Error{Kind: KindUnavailable, Message: "service shutting down"}
 
 // errStepCanceled drains a streamed batch's remaining steps after the
 // stream is abandoned; the collector discards it.
@@ -165,8 +169,18 @@ func (sch *Scheduler) Stats() metrics.SchedSnapshot {
 	return s
 }
 
+// SetWaveGate installs a hook the dispatcher calls after each wave's jobs
+// have been delivered and before the next wave is assembled; it makes
+// wave boundaries deterministic for streaming-overlap tests (the
+// transport-conformance suite gates wave N+1 on the client having read
+// item N off the wire). Test instrumentation only: install before any
+// traffic reaches the scheduler.
+func (sch *Scheduler) SetWaveGate(fn func(wave int)) { sch.waveGate = fn }
+
 // Close rejects all queued work and stops the dispatcher, returning once
 // it has exited. Jobs in the wave being executed complete normally.
+// Idempotent and safe for concurrent callers: every call observes the
+// dispatcher fully stopped before returning.
 func (sch *Scheduler) Close() {
 	sch.mu.Lock()
 	if sch.closed {

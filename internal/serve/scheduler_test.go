@@ -616,8 +616,10 @@ func TestSchedulerShutdownDrains(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		j := <-ch
 		// Either the dispatcher squeezed the job into a final wave before
-		// observing close, or it drained with the shutdown error.
-		if j.err != nil && !errors.Is(j.err, ErrOverloaded) {
+		// observing close, or it drained with the typed unavailable error
+		// (NOT overloaded — drain must be distinguishable from
+		// backpressure, or load balancers retry against a dying replica).
+		if j.err != nil && !errors.Is(j.err, ErrUnavailable) {
 			t.Fatalf("drained job err = %v", j.err)
 		}
 		if j.resp != nil {
@@ -627,8 +629,23 @@ func TestSchedulerShutdownDrains(t *testing.T) {
 	}
 	<-closed
 
-	// Submits after close are refused outright.
-	if _, err := svc.Step(id, &first); !errors.Is(err, ErrOverloaded) {
-		t.Fatalf("step after close: %v, want ErrOverloaded", err)
+	// Submits after close are refused outright, again as unavailable.
+	if _, err := svc.Step(id, &first); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("step after close: %v, want ErrUnavailable", err)
 	}
+
+	// Service.Close is idempotent and concurrent-caller-safe: the signal
+	// path, a serve-error path, and two transports can all reach it.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := svc.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	svc.sched.Close() // double scheduler close is a no-op too
 }

@@ -24,6 +24,9 @@ type Service struct {
 	eps      metrics.EndpointCounters
 	sched    *Scheduler
 	maxSteps int
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // DefaultQueueDepth is the decode scheduler's admission-queue bound (in
@@ -111,19 +114,23 @@ func (s *Service) EndpointStats() []metrics.EndpointSnapshot { return s.eps.Snap
 // nil only on a zero-value Service.
 func (s *Service) Scheduler() *Scheduler { return s.sched }
 
-// Close stops the decode scheduler (rejecting queued work), then closes
-// every open session.
+// Close stops the decode scheduler (draining queued work with the typed
+// unavailable error), then closes every open session. Idempotent and safe
+// for concurrent callers — the signal path, a serve-error path, and every
+// transport can all reach it: the first caller does the work, and every
+// caller blocks until it is done and returns the same result.
 func (s *Service) Close() error {
-	if s.sched != nil {
-		s.sched.Close()
-	}
-	var firstErr error
-	for _, sess := range s.reg.Drain() {
-		if err := sess.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	s.closeOnce.Do(func() {
+		if s.sched != nil {
+			s.sched.Close()
 		}
-	}
-	return firstErr
+		for _, sess := range s.reg.Drain() {
+			if err := sess.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
 }
 
 // track times one service call and records it in the per-endpoint

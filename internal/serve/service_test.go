@@ -202,7 +202,7 @@ func TestServiceErrorModel(t *testing.T) {
 		KindBadRequest: 400, KindNotFound: 404, KindConflict: 409,
 		KindMethodNotAllowed: 405, KindTooLarge: 413,
 		KindUnsupportedMedia: 415, KindOverloaded: 429,
-		KindInternal: 500, Kind("mystery"): 500,
+		KindUnavailable: 503, KindInternal: 500, Kind("mystery"): 500,
 	} {
 		if got := HTTPStatus(kind); got != want {
 			t.Errorf("HTTPStatus(%s) = %d, want %d", kind, got, want)

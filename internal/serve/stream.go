@@ -48,6 +48,20 @@ type StreamEndEnvelope struct {
 	Kind      Kind   `json:"kind,omitempty"`
 }
 
+// AppendStreamItemFrame wraps v's frame encoding as a FrameStreamItem and
+// appends it to buf — exported for sibling transports (internal/serve/grpc)
+// that carry the stream wire inside their own message framing, so streamed
+// elements stay bit-identical across transports.
+func AppendStreamItemFrame(buf []byte, v interface{}) ([]byte, error) {
+	return appendStreamItemFrame(buf, v)
+}
+
+// AppendStreamEndFrame appends the stream terminator to buf — the
+// exported sibling of appendStreamEndFrame, see AppendStreamItemFrame.
+func AppendStreamEndFrame(buf []byte, items int, env ErrorEnvelope) []byte {
+	return appendStreamEndFrame(buf, items, env)
+}
+
 // appendStreamItemFrame wraps v's frame encoding as a FrameStreamItem.
 func appendStreamItemFrame(buf []byte, v interface{}) ([]byte, error) {
 	start := len(buf)

@@ -48,6 +48,8 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/serve"
+	agrpc "repro/internal/serve/grpc"
+	"repro/internal/serve/grpc/pb"
 )
 
 // Wire types re-exported from the service definition, so engine code only
@@ -99,10 +101,12 @@ func IsOverloaded(err error) bool {
 	return ok && ae.Kind == serve.KindOverloaded
 }
 
-// Client talks to one alayad. Safe for concurrent use.
+// Client talks to one alayad, over HTTP (WithBaseURL) or gRPC
+// (WithGRPCAddr). Safe for concurrent use.
 type Client struct {
 	base      string
 	hc        *http.Client
+	gc        *agrpc.ClientConn // non-nil in gRPC mode
 	forceJSON atomic.Bool
 }
 
@@ -140,8 +144,11 @@ func NewClient(opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
-	if c.base == "" {
-		return nil, errors.New("alayaclient: WithBaseURL is required")
+	if c.base == "" && c.gc == nil {
+		return nil, errors.New("alayaclient: WithBaseURL or WithGRPCAddr is required")
+	}
+	if c.base != "" && c.gc != nil {
+		return nil, errors.New("alayaclient: WithBaseURL and WithGRPCAddr are mutually exclusive")
 	}
 	if c.hc == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
@@ -256,6 +263,9 @@ func (c *Client) postTensor(ctx context.Context, path string, in, out interface{
 
 // Healthz probes the daemon's liveness endpoint.
 func (c *Client) Healthz(ctx context.Context) (HealthzResponse, error) {
+	if c.gc != nil {
+		return c.grpcHealthz(ctx)
+	}
 	var hz HealthzResponse
 	err := c.do(ctx, http.MethodGet, "/v1/healthz", "", nil, "", &hz)
 	return hz, err
@@ -264,6 +274,9 @@ func (c *Client) Healthz(ctx context.Context) (HealthzResponse, error) {
 // Stats fetches the DB, tier, quant, scheduler and per-endpoint
 // statistics.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	if c.gc != nil {
+		return c.grpcStats(ctx)
+	}
 	var st StatsResponse
 	err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, "", &st)
 	return st, err
@@ -282,6 +295,9 @@ type Session struct {
 // CreateSession opens a session over doc, reusing the longest stored
 // prefix.
 func (c *Client) CreateSession(ctx context.Context, doc *Document) (*Session, error) {
+	if c.gc != nil {
+		return c.grpcCreateSession(ctx, doc)
+	}
 	var resp serve.CreateSessionResponse
 	if err := c.postJSON(ctx, "/v1/sessions", serve.DocumentWire{Seed: doc.Seed, Tokens: doc.Tokens}, &resp); err != nil {
 		return nil, err
@@ -300,6 +316,9 @@ func (s *Session) path(action string) string {
 // Prefill generates KV for every document token not covered by the
 // reused prefix.
 func (s *Session) Prefill(ctx context.Context) (serve.PrefillResponse, error) {
+	if s.c.gc != nil {
+		return s.grpcPrefill(ctx)
+	}
 	var resp serve.PrefillResponse
 	err := s.c.postJSON(ctx, s.path("prefill"), nil, &resp)
 	return resp, err
@@ -308,6 +327,9 @@ func (s *Session) Prefill(ctx context.Context) (serve.PrefillResponse, error) {
 // Update ingests one generated token (v1 fine-grained API; v2 decode
 // loops use Step).
 func (s *Session) Update(ctx context.Context, tok Token) (serve.UpdateResponse, error) {
+	if s.c.gc != nil {
+		return s.grpcUpdate(ctx, tok)
+	}
 	var resp serve.UpdateResponse
 	err := s.c.postJSON(ctx, s.path("update"), serve.UpdateRequest{Token: tok}, &resp)
 	return resp, err
@@ -316,14 +338,22 @@ func (s *Session) Update(ctx context.Context, tok Token) (serve.UpdateResponse, 
 // Attention computes one head's attention output (v1).
 func (s *Session) Attention(ctx context.Context, layer, qHead int, query []float32) (AttentionResponse, error) {
 	var resp AttentionResponse
-	err := s.c.postTensor(ctx, s.path("attention"), &serve.AttentionRequest{Layer: layer, QHead: qHead, Query: query}, &resp)
+	req := &serve.AttentionRequest{Layer: layer, QHead: qHead, Query: query}
+	if s.c.gc != nil {
+		return resp, s.grpcTensor(ctx, pb.MethodAttention, req, &resp)
+	}
+	err := s.c.postTensor(ctx, s.path("attention"), req, &resp)
 	return resp, err
 }
 
 // AttentionAll computes every head of one layer (v1).
 func (s *Session) AttentionAll(ctx context.Context, layer int, queries [][]float32) (AttentionAllResponse, error) {
 	var resp AttentionAllResponse
-	err := s.c.postTensor(ctx, s.path("attention_all"), &serve.AttentionAllRequest{Layer: layer, Queries: queries}, &resp)
+	req := &serve.AttentionAllRequest{Layer: layer, Queries: queries}
+	if s.c.gc != nil {
+		return resp, s.grpcTensor(ctx, pb.MethodAttentionAll, req, &resp)
+	}
+	err := s.c.postTensor(ctx, s.path("attention_all"), req, &resp)
 	return resp, err
 }
 
@@ -335,7 +365,11 @@ func (s *Session) AttentionAll(ctx context.Context, layer int, queries [][]float
 // dedicated serial step.
 func (s *Session) Step(ctx context.Context, tok Token, queries [][][]float32) (StepResponse, error) {
 	var resp StepResponse
-	err := s.c.postTensor(ctx, s.path("step"), &serve.StepRequest{Token: tok, Queries: queries}, &resp)
+	req := &serve.StepRequest{Token: tok, Queries: queries}
+	if s.c.gc != nil {
+		return resp, s.grpcTensor(ctx, pb.MethodStep, req, &resp)
+	}
+	err := s.c.postTensor(ctx, s.path("step"), req, &resp)
 	return resp, err
 }
 
@@ -344,7 +378,14 @@ func (s *Session) Step(ctx context.Context, tok Token, queries [][][]float32) (S
 // streamed delivery use StepStream.
 func (s *Session) Steps(ctx context.Context, steps []StepRequest) ([]StepResponse, error) {
 	var resp serve.StepsResponse
-	if err := s.c.postTensor(ctx, s.path("steps"), &serve.StepsRequest{Steps: steps}, &resp); err != nil {
+	req := &serve.StepsRequest{Steps: steps}
+	if s.c.gc != nil {
+		if err := s.grpcTensor(ctx, pb.MethodSteps, req, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Steps, nil
+	}
+	if err := s.c.postTensor(ctx, s.path("steps"), req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Steps, nil
@@ -352,6 +393,9 @@ func (s *Session) Steps(ctx context.Context, steps []StepRequest) ([]StepRespons
 
 // Store persists the session's full state as a reusable stored context.
 func (s *Session) Store(ctx context.Context) (serve.StoreResponse, error) {
+	if s.c.gc != nil {
+		return s.grpcStore(ctx)
+	}
 	var resp serve.StoreResponse
 	err := s.c.postJSON(ctx, s.path("store"), nil, &resp)
 	return resp, err
@@ -360,6 +404,9 @@ func (s *Session) Store(ctx context.Context) (serve.StoreResponse, error) {
 // CloseSession closes the session server-side (the SDK name now matches
 // the Service operation).
 func (s *Session) CloseSession(ctx context.Context) error {
+	if s.c.gc != nil {
+		return s.grpcCloseSession(ctx)
+	}
 	return s.c.do(ctx, http.MethodDelete, s.path(""), "", nil, "", nil)
 }
 

@@ -30,6 +30,7 @@ func (t *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
 
 type testEnv struct {
 	ts   *httptest.Server
+	srv  *serve.Server
 	m    *model.Model
 	inst workload.Instance
 }
@@ -75,7 +76,7 @@ func newTestEnv(t *testing.T, contextLen int) *testEnv {
 		srv.Close()
 		db.Close()
 	})
-	return &testEnv{ts: ts, m: m, inst: inst}
+	return &testEnv{ts: ts, srv: srv, m: m, inst: inst}
 }
 
 func (e *testEnv) queries(step int) [][][]float32 {

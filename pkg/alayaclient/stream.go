@@ -1,6 +1,7 @@
 package alayaclient
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,8 @@ import (
 	"net/http"
 
 	"repro/internal/serve"
+	agrpc "repro/internal/serve/grpc"
+	"repro/internal/serve/grpc/pb"
 )
 
 // StepStream iterates a step_stream response: one StepResponse per
@@ -18,6 +21,7 @@ type StepStream struct {
 	body  io.ReadCloser
 	sc    *serve.StreamScanner // binary mode
 	dec   *json.Decoder        // NDJSON fallback
+	gs    *agrpc.ClientStream  // gRPC mode; body/sc/dec are nil
 	items int
 	done  bool
 	err   error // terminal state after done: io.EOF or the stream error
@@ -29,6 +33,9 @@ type StepStream struct {
 // stream (the server drains the remaining steps without computing them);
 // always Close the stream.
 func (s *Session) StepStream(ctx context.Context, steps []StepRequest) (*StepStream, error) {
+	if s.c.gc != nil {
+		return s.grpcStepStream(ctx, steps)
+	}
 	in := &serve.StepsRequest{Steps: steps}
 	c := s.c
 	if !c.forceJSON.Load() {
@@ -83,8 +90,14 @@ func (st *StepStream) Recv() (StepResponse, error) {
 		// connection can go back to (or out of) the pool.
 		st.done = true
 		st.err = err
-		st.body.Close()
-		st.body = nil
+		if st.body != nil {
+			st.body.Close()
+			st.body = nil
+		}
+		if st.gs != nil {
+			st.gs.Close()
+			st.gs = nil
+		}
 		return zero, err
 	}
 	st.items++
@@ -93,6 +106,22 @@ func (st *StepStream) Recv() (StepResponse, error) {
 
 func (st *StepStream) next() (StepResponse, error) {
 	var zero StepResponse
+	if st.gs != nil {
+		// gRPC mode: each streamed message wraps exactly one of the same
+		// stream frames the HTTP binary wire carries.
+		var msg pb.FrameResponse
+		if err := st.gs.Recv(&msg); err != nil {
+			if err == io.EOF {
+				return zero, fmt.Errorf("alayaclient: stream ended without a stream-end frame")
+			}
+			return zero, grpcErr(err)
+		}
+		kind, payload, err := serve.NewStreamScanner(bytes.NewReader(msg.Frame)).ReadFrame()
+		if err != nil {
+			return zero, err
+		}
+		return st.streamFrame(kind, payload)
+	}
 	if st.sc != nil {
 		kind, payload, err := st.sc.ReadFrame()
 		if err == io.EOF {
@@ -101,22 +130,7 @@ func (st *StepStream) next() (StepResponse, error) {
 		if err != nil {
 			return zero, err
 		}
-		switch kind {
-		case serve.FrameStreamItem:
-			var resp StepResponse
-			if err := serve.UnmarshalFrame(payload, &resp); err != nil {
-				return zero, err
-			}
-			return resp, nil
-		case serve.FrameStreamEnd:
-			n, env, err := serve.DecodeStreamEnd(payload)
-			if err != nil {
-				return zero, err
-			}
-			return zero, st.finish(n, env)
-		default:
-			return zero, fmt.Errorf("alayaclient: unexpected stream frame kind %d", kind)
-		}
+		return st.streamFrame(kind, payload)
 	}
 	var row struct {
 		Step      *StepResponse `json:"step"`
@@ -140,6 +154,27 @@ func (st *StepStream) next() (StepResponse, error) {
 	return *row.Step, nil
 }
 
+// streamFrame interprets one binary stream frame (either wire).
+func (st *StepStream) streamFrame(kind byte, payload []byte) (StepResponse, error) {
+	var zero StepResponse
+	switch kind {
+	case serve.FrameStreamItem:
+		var resp StepResponse
+		if err := serve.UnmarshalFrame(payload, &resp); err != nil {
+			return zero, err
+		}
+		return resp, nil
+	case serve.FrameStreamEnd:
+		n, env, err := serve.DecodeStreamEnd(payload)
+		if err != nil {
+			return zero, err
+		}
+		return zero, st.finish(n, env)
+	default:
+		return zero, fmt.Errorf("alayaclient: unexpected stream frame kind %d", kind)
+	}
+}
+
 // finish interprets the stream terminator.
 func (st *StepStream) finish(items int, env serve.ErrorEnvelope) error {
 	if env.Error != "" || env.Kind != "" {
@@ -157,12 +192,19 @@ func (st *StepStream) Items() int { return st.items }
 // Close releases the stream's connection. Safe to call at any point and
 // more than once; a stream read to io.EOF closes cleanly.
 func (st *StepStream) Close() error {
-	if st.body == nil {
+	if st.body == nil && st.gs == nil {
 		return nil
 	}
-	io.Copy(io.Discard, st.body)
-	err := st.body.Close()
-	st.body = nil
+	var err error
+	if st.body != nil {
+		io.Copy(io.Discard, st.body)
+		err = st.body.Close()
+		st.body = nil
+	}
+	if st.gs != nil {
+		err = st.gs.Close()
+		st.gs = nil
+	}
 	if !st.done {
 		st.done = true
 		st.err = fmt.Errorf("alayaclient: stream closed")
