@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-serving-grpc bench-batching bench-prefix proto cover fuzz fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-serving-grpc bench-batching bench-prefix bench-ctxpar proto cover fuzz fmt vet
 
 all: build vet test
 
@@ -76,6 +76,16 @@ bench-batching:
 PREFIX_JSON ?= BENCH_PR7.json
 bench-prefix:
 	$(GO) run ./cmd/alayabench -exp prefix -context 2048 -trials 2 -json $(PREFIX_JSON)
+
+# Context-parallelism experiment: per-context index-build latency and
+# decode throughput across range-shard counts [1,2,4,8] at a long context,
+# graph recall parity of sharded probes, and the short-context guard, with
+# the PR 9 perf artefact. 1 layer x 2 query heads x 1 kv head gives one
+# index group, so the 1-shard build is genuinely serial and the sweep
+# isolates what sharding buys rather than job-level fan-out across groups.
+CTXPAR_JSON ?= BENCH_PR9.json
+bench-ctxpar:
+	$(GO) run ./cmd/alayabench -exp ctxpar -context 4096 -layers 1 -qheads 2 -kvheads 1 -trials 2 -json $(CTXPAR_JSON)
 
 # Regenerate the committed gRPC protobuf artefacts (alaya.pb.go and
 # alaya.proto) from the descriptor table in the generator; CI fails if

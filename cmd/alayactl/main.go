@@ -114,6 +114,14 @@ func stats(baseURL string) error {
 		fmt.Printf("prefix lookups: %d (%d hits, %d from spill), %d cow stores\n",
 			st.PrefixLookups, st.PrefixHits, st.PrefixSpillHits, st.CoWStores)
 	}
+	if st.IndexBuilds > 0 {
+		fmt.Printf("index builds:   %d (%d ms total, last %d ms)\n",
+			st.IndexBuilds, st.IndexBuildMillis, st.LastIndexBuildMillis)
+		if st.ShardedBuilds > 0 {
+			fmt.Printf("ctx sharding:   %d sharded builds (%d shard graphs), %d sharded probes (%.1f shards/probe)\n",
+				st.ShardedBuilds, st.ShardsBuilt, st.ShardedProbes, st.ShardsPerProbe)
+		}
+	}
 	if st.Sched != nil {
 		fmt.Printf("scheduler:      %d waves (avg %.1f, max %d of %d), %d admitted, %d rejected, queue %d/%d\n",
 			st.Sched.Waves, st.Sched.AvgWave, st.Sched.MaxWave, st.Sched.WaveSize,

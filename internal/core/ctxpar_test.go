@@ -1,0 +1,292 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/attention"
+	"repro/internal/devmem"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// ctxparDB builds a DB whose device budget forces DIPR plans, with the
+// given layer count, sharding geometry, and key plane. layers=1 makes
+// every DIPR plan IndexFlat (the optimizer's layer-0 rule), which is the
+// bitwise-comparable decode path; layers=2 adds IndexFine graph probes.
+func ctxparDB(t testing.TB, layers, shardRows int, quant bool) *DB {
+	t.Helper()
+	cfg := model.Default()
+	cfg.Layers = layers
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(cfg.Layers) * int64(cfg.KVHeads) * int64(cfg.HeadDim) * 4 * 2
+	dev := devmem.New(m.WeightsBytes() + 2*winBytes + 4096)
+	db, err := New(Config{
+		Model:         m,
+		Device:        dev,
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       1,
+		Pool:          pool.New(4),
+		QuantKeys:     quant,
+		CtxShardRows:  shardRows,
+		CtxShardMax:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func ctxparQueries(db *DB, doc *model.Document, topics []int) [][][]float32 {
+	mc := db.Model().Config()
+	qs := make([][][]float32, mc.Layers)
+	for l := range qs {
+		qs[l] = make([][]float32, mc.QHeads)
+		for h := range qs[l] {
+			qs[l][h] = db.Model().QueryVector(doc, l, h, model.QuerySpec{
+				FocusTopics: topics, ContextLen: doc.Len()})
+		}
+	}
+	return qs
+}
+
+// TestShardedFlatDecodeBitwise is the PR's identity criterion: a sharded
+// flat-scan decode must be bit-for-bit the unsharded decode — outputs,
+// retrieved counts, and (quant) rerank volume — because the per-shard fill
+// is a reordering of independent writes feeding the same serial band
+// selection. Covered with the SQ8 plane both off and on.
+func TestShardedFlatDecodeBitwise(t *testing.T) {
+	for _, quant := range []bool{false, true} {
+		mono := ctxparDB(t, 1, 0, quant)
+		shard := ctxparDB(t, 1, 128, quant)
+
+		prof, _ := workload.ProfileByName("Retr.P")
+		inst := workload.Generate(prof, 9, 1024, 64, 32)
+		if _, err := mono.ImportDoc(inst.Doc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shard.ImportDoc(inst.Doc); err != nil {
+			t.Fatal(err)
+		}
+		if st := shard.CtxParStats(); st.ShardedBuilds != 1 || st.ShardsBuilt != 8 {
+			t.Fatalf("quant=%v: sharded build not recorded: %+v", quant, st)
+		}
+		if st := mono.CtxParStats(); st.ShardedBuilds != 0 || st.IndexBuilds != 1 {
+			t.Fatalf("quant=%v: unsharded build miscounted: %+v", quant, st)
+		}
+
+		ms, _ := mono.CreateSession(inst.Doc)
+		ss, _ := shard.CreateSession(inst.Doc)
+		qs := ctxparQueries(mono, inst.Doc, inst.Question)
+		mc := mono.Model().Config()
+		for h := 0; h < mc.QHeads; h++ {
+			want := ms.Attention(0, h, qs[0][h])
+			got := ss.Attention(0, h, qs[0][h])
+			if want.Plan.Query != query.KindDIPR || want.Plan.Index != query.IndexFlat {
+				t.Fatalf("quant=%v head %d: fixture planned %+v, want flat DIPR", quant, h, want.Plan)
+			}
+			if got.Plan != want.Plan {
+				t.Fatalf("quant=%v head %d: plans diverge: %+v vs %+v", quant, h, got.Plan, want.Plan)
+			}
+			if got.Retrieved != want.Retrieved {
+				t.Fatalf("quant=%v head %d: retrieved %d vs %d", quant, h, got.Retrieved, want.Retrieved)
+			}
+			for j := range want.Output {
+				if got.Output[j] != want.Output[j] {
+					t.Fatalf("quant=%v head %d dim %d: %v != %v (not bitwise)",
+						quant, h, j, got.Output[j], want.Output[j])
+				}
+			}
+		}
+		if st := shard.CtxParStats(); st.ShardedProbes == 0 || st.ShardsPerProbe() != 8 {
+			t.Fatalf("quant=%v: sharded probes not recorded: %+v", quant, st)
+		}
+		mst, sst := ms.Stats(), ss.Stats()
+		if mst.Reranked != sst.Reranked {
+			t.Fatalf("quant=%v: reranked %d vs %d", quant, sst.Reranked, mst.Reranked)
+		}
+		ms.Close()
+		ss.Close()
+	}
+}
+
+// TestShardedPersistRoundTrip saves a sharded context (per-shard graph
+// files, adjacency-free keys files) and reloads it in a fresh DB: shard
+// geometry, KV planes, and every shard graph must round-trip exactly, and
+// a decode on the reloaded context must match the original bitwise — the
+// IndexFine layers too, since both DBs probe identical shard graphs.
+func TestShardedPersistRoundTrip(t *testing.T) {
+	for _, quant := range []bool{false, true} {
+		db := ctxparDB(t, 2, 128, quant)
+		prof, _ := workload.ProfileByName("Retr.P")
+		inst := workload.Generate(prof, 11, 1024, 64, 32)
+		ctx, err := db.ImportDoc(inst.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ctx.shards) != 8 {
+			t.Fatalf("quant=%v: fixture built %d shards, want 8", quant, len(ctx.shards))
+		}
+		dir := filepath.Join(t.TempDir(), "ctx")
+		if err := db.SaveContext(ctx, dir); err != nil {
+			t.Fatal(err)
+		}
+
+		db2 := ctxparDB(t, 2, 128, quant)
+		loaded, err := db2.LoadContext(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(loaded.shards) != len(ctx.shards) {
+			t.Fatalf("quant=%v: loaded %d shards, want %d", quant, len(loaded.shards), len(ctx.shards))
+		}
+		for i := range ctx.shards {
+			if loaded.shards[i] != ctx.shards[i] {
+				t.Fatalf("quant=%v: shard %d span %+v != %+v", quant, i, loaded.shards[i], ctx.shards[i])
+			}
+		}
+		if len(loaded.graphs) != len(ctx.graphs) {
+			t.Fatalf("quant=%v: graph count %d != %d", quant, len(loaded.graphs), len(ctx.graphs))
+		}
+		for gi := range ctx.graphs {
+			a, b := ctx.graphs[gi], loaded.graphs[gi]
+			if (a == nil) != (b == nil) {
+				t.Fatalf("quant=%v: graph %d nil mismatch", quant, gi)
+			}
+			if a == nil {
+				continue
+			}
+			if a.Entry() != b.Entry() || a.Len() != b.Len() {
+				t.Fatalf("quant=%v: graph %d shape (%d,%d) != (%d,%d)",
+					quant, gi, b.Len(), b.Entry(), a.Len(), a.Entry())
+			}
+			aAdj, bAdj := adjacencyOf(a), adjacencyOf(b)
+			for u := range aAdj {
+				if len(aAdj[u]) != len(bAdj[u]) {
+					t.Fatalf("quant=%v: graph %d node %d degree differs", quant, gi, u)
+				}
+				for k := range aAdj[u] {
+					if aAdj[u][k] != bAdj[u][k] {
+						t.Fatalf("quant=%v: graph %d node %d neighbour %d differs", quant, gi, u, k)
+					}
+				}
+			}
+		}
+
+		origSess, _ := db.CreateSession(inst.Doc)
+		loadSess, reused := db2.CreateSession(inst.Doc)
+		if reused != inst.Doc.Len() {
+			t.Fatalf("quant=%v: reused %d of %d", quant, reused, inst.Doc.Len())
+		}
+		qs := ctxparQueries(db, inst.Doc, inst.Question)
+		mc := db.Model().Config()
+		for l := 0; l < mc.Layers; l++ {
+			for h := 0; h < mc.QHeads; h++ {
+				want := origSess.Attention(l, h, qs[l][h])
+				got := loadSess.Attention(l, h, qs[l][h])
+				if got.Plan != want.Plan || got.Retrieved != want.Retrieved {
+					t.Fatalf("quant=%v L%dH%d: plan/retrieved diverge: %+v/%d vs %+v/%d",
+						quant, l, h, got.Plan, got.Retrieved, want.Plan, want.Retrieved)
+				}
+				for j := range want.Output {
+					if got.Output[j] != want.Output[j] {
+						t.Fatalf("quant=%v L%dH%d dim %d: %v != %v after reload",
+							quant, l, h, j, got.Output[j], want.Output[j])
+					}
+				}
+			}
+		}
+		origSess.Close()
+		loadSess.Close()
+	}
+}
+
+// TestShardedEvictSpillReloadBitwise drives the sharded layout through the
+// spill tier: import, decode, evict to disk, transparently reload via
+// CreateSession, decode again — outputs must be bitwise stable across the
+// round trip (quant plane on, the layout with the most moving parts).
+func TestShardedEvictSpillReloadBitwise(t *testing.T) {
+	cfg := model.Default()
+	cfg.Layers = 2
+	cfg.QHeads = 4
+	cfg.KVHeads = 2
+	cfg.Vocab = 32
+	m := model.New(cfg)
+	win := attention.Window{Sinks: 4, Recent: 16}
+	winBytes := int64(win.Sinks+win.Recent) * int64(cfg.Layers) * int64(cfg.KVHeads) * int64(cfg.HeadDim) * 4 * 2
+	dev := devmem.New(m.WeightsBytes() + 2*winBytes + 4096)
+	doc := model.NewFiller(31, 1024, 64, 32)
+	doc.Plant(512, 200, 9, 1)
+	db, err := New(Config{
+		Model:         m,
+		Device:        dev,
+		Window:        win,
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 12, QueryKNN: 8, EfConstruction: 48},
+		Workers:       1,
+		Pool:          pool.New(4),
+		QuantKeys:     true,
+		CtxShardRows:  128,
+		CtxShardMax:   8,
+		// Budget fits one resident context: the filler import evicts doc.
+		ContextBudget: 3 * 1024 * int64(cfg.Layers) * int64(cfg.KVHeads) * int64(cfg.HeadDim) * 4,
+		SpillDir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.ImportDoc(doc); err != nil {
+		t.Fatal(err)
+	}
+	qs := ctxparQueries(db, doc, []int{200})
+	sess, _ := db.CreateSession(doc)
+	mc := db.Model().Config()
+	before := make([][][]float32, mc.Layers)
+	for l := 0; l < mc.Layers; l++ {
+		before[l] = make([][]float32, mc.QHeads)
+		for h := 0; h < mc.QHeads; h++ {
+			res := sess.Attention(l, h, qs[l][h])
+			before[l][h] = append([]float32(nil), res.Output...)
+		}
+	}
+	sess.Close()
+
+	filler := model.NewFiller(32, 900, 64, 32)
+	if _, err := db.ImportDoc(filler); err != nil {
+		t.Fatal(err)
+	}
+	if db.TierStats().SpilledContexts == 0 {
+		t.Fatal("fixture did not spill the sharded context")
+	}
+
+	sess2, reused := db.CreateSession(doc)
+	defer sess2.Close()
+	if reused != doc.Len() {
+		t.Fatalf("reloaded context reused %d of %d tokens", reused, doc.Len())
+	}
+	if !sess2.base.Sharded() {
+		t.Fatal("context lost its shard geometry across the spill round trip")
+	}
+	for l := 0; l < mc.Layers; l++ {
+		for h := 0; h < mc.QHeads; h++ {
+			res := sess2.Attention(l, h, qs[l][h])
+			for j := range res.Output {
+				if res.Output[j] != before[l][h][j] {
+					t.Fatalf("L%dH%d dim %d: %v != %v after evict/spill/reload",
+						l, h, j, res.Output[j], before[l][h][j])
+				}
+			}
+		}
+	}
+}

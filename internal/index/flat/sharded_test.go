@@ -1,0 +1,80 @@
+package flat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/pool"
+)
+
+// TestDIPRShardedBitwiseIdentical is the sharded flat scan's contract: for
+// any disjoint span cover of the prefix, fp32 or SQ8, filtered or not, the
+// result is bit-for-bit the serial DIPRFilteredScratch — ids, scores,
+// order, best, and (quant) rerank count. The per-span fill only reorders
+// independent writes; band selection and rerank are the same serial code.
+func TestDIPRShardedBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := pool.New(4)
+	for _, quant := range []bool{false, true} {
+		for _, n := range []int{1, 7, 300, 2000} {
+			keys := randomKeys(rng, n, 16)
+			x := Make(keys, 1)
+			if quant {
+				x = MakeQuant(keys, snapKeys(keys), 1)
+			}
+			for _, limit := range []int{n, n / 2, 3} {
+				if limit <= 0 {
+					continue
+				}
+				for _, nShards := range []int{1, 2, 3, 8} {
+					spans := index.Shards(limit, (limit+nShards-1)/nShards, nShards)
+					var ssc, fsc Scratch
+					for trial := 0; trial < 4; trial++ {
+						q := make([]float32, 16)
+						for j := range q {
+							q[j] = rng.Float32()*2 - 1
+						}
+						beta := float32(0.4)
+						want, wantMax := x.DIPRFilteredScratch(&fsc, q, beta, limit)
+						got, gotMax := x.DIPRShardedScratch(&ssc, p, spans, q, beta, limit)
+						if gotMax != wantMax {
+							t.Fatalf("quant=%v n=%d limit=%d shards=%d: max %v != %v",
+								quant, n, limit, nShards, gotMax, wantMax)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("quant=%v n=%d limit=%d shards=%d: %d candidates, want %d",
+								quant, n, limit, nShards, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("quant=%v n=%d limit=%d shards=%d candidate %d: %+v != %+v",
+									quant, n, limit, nShards, i, got[i], want[i])
+							}
+						}
+						if quant && ssc.Reranked != fsc.Reranked {
+							t.Fatalf("quant n=%d limit=%d shards=%d: reranked %d != %d",
+								n, limit, nShards, ssc.Reranked, fsc.Reranked)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDIPRShardedEmpty covers the degenerate shapes: no spans, zero limit.
+func TestDIPRShardedEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	keys := randomKeys(rng, 10, 8)
+	x := Make(keys, 1)
+	var sc Scratch
+	q := make([]float32, 8)
+	if got, _ := x.DIPRShardedScratch(&sc, pool.Serial(), nil, q, 0.5, 10); got != nil {
+		t.Fatalf("no spans: %v", got)
+	}
+	spans := []index.Span{{Lo: 0, Hi: 10}}
+	if got, _ := x.DIPRShardedScratch(&sc, pool.Serial(), spans, q, 0.5, 0); got != nil {
+		t.Fatalf("zero limit: %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package index
+
+import "fmt"
+
+// Span is a contiguous row range [Lo, Hi) — one shard of a range-sharded
+// context. Sharding a context's KV rows into contiguous spans keeps every
+// shard's keys a zero-copy view of the key matrix (vec.Matrix.Slice /
+// vec.QuantMatrix.Slice) and makes shard↔global id translation a single
+// offset add, so per-shard indexes compose with the global candidate and
+// attention machinery without remapping tables.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of rows in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Shards partitions n rows into contiguous near-equal spans: one shard per
+// shardRows rows (rounded up), capped at maxShards (0 = no cap). Sharding
+// only kicks in past the threshold — when shardRows <= 0 (sharding off) or
+// n <= shardRows, the single span [0, n) is returned, so short contexts
+// keep the unsharded build and probe paths. The spans are balanced (sizes
+// differ by at most one row) rather than fixed-width, so the last shard is
+// never a degenerate sliver.
+func Shards(n, shardRows, maxShards int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if shardRows <= 0 || n <= shardRows {
+		return []Span{{Lo: 0, Hi: n}}
+	}
+	k := (n + shardRows - 1) / shardRows
+	if maxShards > 0 && k > maxShards {
+		k = maxShards
+	}
+	if k < 1 {
+		k = 1
+	}
+	spans := make([]Span, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := range spans {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans[i] = Span{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	if lo != n {
+		panic(fmt.Sprintf("index: shard partition covered %d of %d rows", lo, n))
+	}
+	return spans
+}

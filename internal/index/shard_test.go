@@ -1,0 +1,53 @@
+package index
+
+import "testing"
+
+func TestShardsThreshold(t *testing.T) {
+	if got := Shards(0, 128, 8); got != nil {
+		t.Fatalf("0 rows: got %v, want nil", got)
+	}
+	if got := Shards(500, 0, 8); len(got) != 1 || got[0] != (Span{0, 500}) {
+		t.Fatalf("sharding off: got %v, want single span", got)
+	}
+	if got := Shards(128, 128, 8); len(got) != 1 || got[0] != (Span{0, 128}) {
+		t.Fatalf("at threshold: got %v, want single span", got)
+	}
+	if got := Shards(129, 128, 8); len(got) != 2 {
+		t.Fatalf("past threshold: got %v, want 2 spans", got)
+	}
+}
+
+func TestShardsCoverageAndBalance(t *testing.T) {
+	for _, tc := range []struct{ n, rows, max, want int }{
+		{1000, 100, 0, 10}, // no cap: ceil(1000/100)
+		{1001, 100, 0, 11},
+		{1000, 100, 4, 4}, // capped
+		{1000, 100, 8, 8},
+		{7, 2, 0, 4},
+		{4096, 512, 8, 8},
+	} {
+		spans := Shards(tc.n, tc.rows, tc.max)
+		if len(spans) != tc.want {
+			t.Fatalf("Shards(%d,%d,%d): %d spans, want %d", tc.n, tc.rows, tc.max, len(spans), tc.want)
+		}
+		lo, min, max := 0, tc.n, 0
+		for _, s := range spans {
+			if s.Lo != lo {
+				t.Fatalf("Shards(%d,%d,%d): gap before span %v", tc.n, tc.rows, tc.max, s)
+			}
+			lo = s.Hi
+			if s.Len() < min {
+				min = s.Len()
+			}
+			if s.Len() > max {
+				max = s.Len()
+			}
+		}
+		if lo != tc.n {
+			t.Fatalf("Shards(%d,%d,%d): spans cover %d rows", tc.n, tc.rows, tc.max, lo)
+		}
+		if max-min > 1 {
+			t.Fatalf("Shards(%d,%d,%d): unbalanced spans (%d..%d rows)", tc.n, tc.rows, tc.max, min, max)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/index/flat"
+	"repro/internal/index/graph"
+	"repro/internal/pool"
+	"repro/internal/vec"
+)
+
+// shardFixture builds one graph per contiguous span of keys, node ids local
+// to the span — the shape BuildIndexes produces for a range-sharded context.
+func shardFixture(keys *vec.Matrix, spans []index.Span) (gs []Graph, offs []int) {
+	for _, sp := range spans {
+		g := graph.Build(keys.Slice(sp.Lo, sp.Hi), nil, graph.Config{Degree: 16, EfConstruction: 96, Workers: 2})
+		gs = append(gs, g)
+		offs = append(offs, sp.Lo)
+	}
+	return gs, offs
+}
+
+func TestDIPRSShardsEmpty(t *testing.T) {
+	var st ShardedState
+	res := DIPRSShards(&st, pool.Serial(), nil, nil, []float32{1, 0}, DIPRSConfig{Beta: 1})
+	if len(res.Critical) != 0 || !math.IsInf(float64(res.MaxIP), -1) {
+		t.Fatalf("empty shard set: %+v", res)
+	}
+}
+
+// TestDIPRSShardsSingleShardMatchesDIPRS: with one shard at offset 0 the
+// sharded search is the monolithic search plus a merge pass that must not
+// change the result.
+func TestDIPRSShardsSingleShardMatchesDIPRS(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	keys := randomKeys(rng, 600, 16)
+	g := buildGraph(rng, keys)
+	var st ShardedState
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float32, 16)
+		for j := range q {
+			q[j] = rng.Float32()*2 - 1
+		}
+		cfg := DIPRSConfig{Beta: 0.5}
+		want := DIPRS(g, q, cfg)
+		got := DIPRSShards(&st, pool.Serial(), []Graph{g}, []int{0}, q, cfg)
+		if got.MaxIP != want.MaxIP || len(got.Critical) != len(want.Critical) {
+			t.Fatalf("trial %d: single-shard result diverges: %d@%v vs %d@%v",
+				trial, len(got.Critical), got.MaxIP, len(want.Critical), want.MaxIP)
+		}
+		for i := range got.Critical {
+			if got.Critical[i] != want.Critical[i] {
+				t.Fatalf("trial %d candidate %d: %+v vs %+v", trial, i, got.Critical[i], want.Critical[i])
+			}
+		}
+	}
+}
+
+// TestDIPRSShardsRecallVsExact: the union of per-shard searches must reach
+// the exact β-critical set at least as well as a monolithic traversal —
+// each shard's exhaustiveness is local, so recall is usually higher.
+func TestDIPRSShardsRecallVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, d = 1200, 16
+	keys := randomKeys(rng, n, d)
+	spans := index.Shards(n, 300, 0)
+	if len(spans) != 4 {
+		t.Fatalf("fixture wants 4 shards, got %v", spans)
+	}
+	gs, offs := shardFixture(keys, spans)
+	fx := flat.New(keys, 1)
+	p := pool.New(4)
+
+	var st ShardedState
+	var recallSum float64
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		q := make([]float32, d)
+		for j := range q {
+			q[j] = rng.Float32()*2 - 1
+		}
+		beta := float32(1.0)
+		exact, exactMax := fx.DIPR(q, beta)
+		res := DIPRSShards(&st, p, gs, offs, q, DIPRSConfig{Beta: beta, Capacity: 96})
+		got := make(map[int32]bool, len(res.Critical))
+		for i, c := range res.Critical {
+			if c.ID < 0 || int(c.ID) >= n {
+				t.Fatalf("trial %d: global id %d out of range", trial, c.ID)
+			}
+			if got[c.ID] {
+				t.Fatalf("trial %d: duplicate id %d", trial, c.ID)
+			}
+			got[c.ID] = true
+			if c.Score < res.MaxIP-beta-1e-5 {
+				t.Fatalf("trial %d: non-critical candidate %v vs max %v", trial, c.Score, res.MaxIP)
+			}
+			if i > 0 && res.Critical[i-1].Score < c.Score {
+				t.Fatalf("trial %d: result not sorted best-first", trial)
+			}
+		}
+		if res.MaxIP > exactMax+1e-5 {
+			t.Fatalf("trial %d: sharded max %v above exact max %v", trial, res.MaxIP, exactMax)
+		}
+		hit := 0
+		for _, c := range exact {
+			if got[c.ID] {
+				hit++
+			}
+		}
+		recallSum += float64(hit) / float64(len(exact))
+	}
+	if avg := recallSum / trials; avg < 0.85 {
+		t.Errorf("sharded recall vs exact = %v, want >= 0.85", avg)
+	}
+}
+
+// TestDIPRSShardsFilter: the global-id predicate must be what shard-local
+// traversals consult (translated by each shard's offset), and only passing
+// ids may be returned.
+func TestDIPRSShardsFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n, d = 800, 16
+	keys := randomKeys(rng, n, d)
+	spans := index.Shards(n, 200, 0)
+	gs, offs := shardFixture(keys, spans)
+	var st ShardedState
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float32, d)
+		for j := range q {
+			q[j] = rng.Float32()*2 - 1
+		}
+		res := DIPRSShards(&st, pool.Serial(), gs, offs, q, DIPRSConfig{
+			Beta:   1.0,
+			Filter: func(id int32) bool { return id%2 == 0 },
+		})
+		if len(res.Critical) == 0 {
+			t.Fatalf("trial %d: filtered search returned nothing", trial)
+		}
+		for _, c := range res.Critical {
+			if c.ID%2 != 0 {
+				t.Fatalf("trial %d: filtered search returned odd id %d", trial, c.ID)
+			}
+		}
+	}
+}
+
+// TestDIPRSShardsMaxResults: the cap bounds the merged set and keeps the
+// globally best candidates, not an arbitrary per-shard subset.
+func TestDIPRSShardsMaxResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const n, d = 800, 16
+	keys := randomKeys(rng, n, d)
+	spans := index.Shards(n, 200, 0)
+	gs, offs := shardFixture(keys, spans)
+	var st ShardedState
+	q := make([]float32, d)
+	for j := range q {
+		q[j] = rng.Float32()*2 - 1
+	}
+	full := DIPRSShards(&st, pool.Serial(), gs, offs, q, DIPRSConfig{Beta: 2.0})
+	if len(full.Critical) <= 8 {
+		t.Skipf("band too small (%d) to exercise the cap", len(full.Critical))
+	}
+	want := make([]index.Candidate, len(full.Critical))
+	copy(want, full.Critical)
+
+	var st2 ShardedState
+	capped := DIPRSShards(&st2, pool.Serial(), gs, offs, q, DIPRSConfig{Beta: 2.0, MaxResults: 8})
+	if len(capped.Critical) != 8 {
+		t.Fatalf("cap 8 returned %d", len(capped.Critical))
+	}
+	for i, c := range capped.Critical {
+		if c != want[i] {
+			t.Fatalf("capped result %d = %+v, want global best %+v", i, c, want[i])
+		}
+	}
+}

@@ -55,6 +55,9 @@ func TestStatsOlderServer(t *testing.T) {
 		st.PrefixLookups != 0 || st.CoWStores != 0 || st.ReloadErrors != 0 || st.SpillErrors != 0 {
 		t.Fatalf("fields absent from the wire must decode to zero: %+v", st)
 	}
+	if st.IndexBuilds != 0 || st.ShardedBuilds != 0 || st.ShardedProbes != 0 || st.ShardsPerProbe != 0 {
+		t.Fatalf("sharding fields absent from the wire must decode to zero: %+v", st)
+	}
 }
 
 // TestStatsNewerServer decodes a stats body carrying both the
@@ -74,6 +77,14 @@ func TestStatsNewerServer(t *testing.T) {
 		"cow_stores": 4,
 		"spill_errors": 1,
 		"reload_errors": 2,
+		"index_builds": 6,
+		"index_build_ms": 420,
+		"last_index_build_ms": 55,
+		"sharded_builds": 3,
+		"shards_built": 24,
+		"sharded_probes": 1000,
+		"shard_probes": 8000,
+		"shards_per_probe": 8.0,
 		"some_future_field": {"nested": [1, 2, 3]},
 		"another_unknown": "ignored"
 	}`)
@@ -89,5 +100,12 @@ func TestStatsNewerServer(t *testing.T) {
 	}
 	if st.SpillErrors != 1 || st.ReloadErrors != 2 {
 		t.Fatalf("tier error fields mangled: %+v", st)
+	}
+	if st.IndexBuilds != 6 || st.IndexBuildMillis != 420 || st.LastIndexBuildMillis != 55 {
+		t.Fatalf("index-build fields mangled: %+v", st)
+	}
+	if st.ShardedBuilds != 3 || st.ShardsBuilt != 24 || st.ShardedProbes != 1000 ||
+		st.ShardProbes != 8000 || st.ShardsPerProbe != 8.0 {
+		t.Fatalf("sharding fields mangled: %+v", st)
 	}
 }
