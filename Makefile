@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-serving-grpc bench-batching bench-prefix bench-ctxpar proto cover fuzz fmt vet
+.PHONY: all build test race bench bench-alloc bench-tiered bench-quant bench-serving bench-serving-grpc bench-batching bench-prefix bench-ctxpar bench-cluster smoke-cluster proto cover fuzz fmt vet
 
 all: build vet test
 
@@ -86,6 +86,21 @@ bench-prefix:
 CTXPAR_JSON ?= BENCH_PR9.json
 bench-ctxpar:
 	$(GO) run ./cmd/alayabench -exp ctxpar -context 4096 -layers 1 -qheads 2 -kvheads 1 -trials 2 -json $(CTXPAR_JSON)
+
+# Cluster routing experiment: decode step latency through the shard
+# router over 1/2/4 in-process gRPC nodes vs the local service, plus a
+# range-sharded fan-out row, with the PR 10 perf artefact. Same scale
+# rationale as bench-serving: small context isolates routing cost (the
+# extra hop, fan-out, and the log-sum-exp merge).
+CLUSTER_JSON ?= BENCH_PR10.json
+bench-cluster:
+	$(GO) run ./cmd/alayabench -exp cluster -context 512 -trials 3 -json $(CLUSTER_JSON)
+
+# Cluster smoke: two real alayad nodes plus a shard router on loopback —
+# range-sharded placement, prefill through the router, per-node health
+# via alayactl nodes, clean close.
+smoke-cluster:
+	sh scripts/smoke_cluster.sh
 
 # Regenerate the committed gRPC protobuf artefacts (alaya.pb.go and
 # alaya.proto) from the descriptor table in the generator; CI fails if

@@ -34,7 +34,7 @@ func main() {
 		layers  = flag.Int("layers", 4, "model layers")
 		qheads  = flag.Int("qheads", 8, "query heads per layer")
 		kvheads = flag.Int("kvheads", 2, "kv heads per layer (GQA groups)")
-		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, serving-grpc, batching, prefix, or ctxpar: also write the machine-readable report to this file")
+		jsonOut = flag.String("json", "", "with -exp alloc, tiered, quant, serving, serving-grpc, batching, prefix, ctxpar, or cluster: also write the machine-readable report to this file")
 	)
 	flag.Parse()
 
@@ -113,8 +113,14 @@ func main() {
 				bench.WriteCtxParTable(d, os.Stdout)
 				data = d
 			}
+		case "cluster":
+			var d *bench.ClusterReportData
+			if d, err = bench.ClusterReport(scale); err == nil {
+				bench.WriteClusterTable(d, os.Stdout)
+				data = d
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, serving-grpc, batching, prefix, or ctxpar")
+			fmt.Fprintln(os.Stderr, "alayabench: -json is only supported with -exp alloc, tiered, quant, serving, serving-grpc, batching, prefix, ctxpar, or cluster")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -10,6 +10,7 @@
 //	alayactl spill <spill-dir>              list the spill tier's contexts
 //	alayactl health <base-url>              probe a daemon's /v1/healthz
 //	alayactl stats <base-url>               print a daemon's /v1/stats
+//	alayactl nodes <base-url>               print a cluster router's per-node health
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 		err = health(os.Args[2])
 	case "stats":
 		err = stats(os.Args[2])
+	case "nodes":
+		err = nodes(os.Args[2])
 	default:
 		usage()
 	}
@@ -54,7 +57,8 @@ func usage() {
   verify <context-dir>   check a saved context's integrity
   spill  <spill-dir>     list the spill tier's contexts
   health <base-url>      probe a daemon's /v1/healthz
-  stats  <base-url>      print a daemon's /v1/stats`)
+  stats  <base-url>      print a daemon's /v1/stats
+  nodes  <base-url>      print a cluster router's per-node health`)
 	os.Exit(2)
 }
 
@@ -137,6 +141,41 @@ func stats(baseURL string) error {
 	if st.EncodeErrors > 0 {
 		fmt.Printf("\nencode errors:  %d\n", st.EncodeErrors)
 	}
+	return nil
+}
+
+// nodes prints a cluster router's placement and health view: one row per
+// peer with its probe verdict, placed shards and routed-call counters,
+// then the router-wide routing totals.
+func nodes(baseURL string) error {
+	cli, err := client(baseURL)
+	if err != nil {
+		return err
+	}
+	st, err := cli.Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	if st.Cluster == nil {
+		return fmt.Errorf("%s is not a cluster router (no cluster block in /v1/stats)", baseURL)
+	}
+	cl := st.Cluster
+	fmt.Printf("%-28s %-9s %9s %9s %8s\n", "node", "health", "sessions", "calls", "errors")
+	for _, n := range cl.Nodes {
+		health := "healthy"
+		if !n.Healthy {
+			health = "DOWN"
+		}
+		fmt.Printf("%-28s %-9s %9d %9d %8d\n", n.Addr, health, n.Sessions, n.Calls, n.Errors)
+	}
+	fmt.Printf("\nsessions:     %d open (%d range-sharded", cl.Sessions, cl.Sharded)
+	if cl.ShardTokens > 0 {
+		fmt.Printf(", threshold %d tokens", cl.ShardTokens)
+	}
+	fmt.Println(")")
+	fmt.Printf("routed calls: %d whole, %d fanouts (%d shard RPCs), %d merges\n",
+		cl.Routed, cl.Fanouts, cl.FanoutCalls, cl.Merges)
+	fmt.Printf("failures:     %d unavailable, %d probe reconnects\n", cl.Unavailable, cl.Retries)
 	return nil
 }
 

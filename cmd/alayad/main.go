@@ -13,6 +13,13 @@
 // a graceful drain: every listener stops accepting, in-flight requests
 // finish, sessions are closed, then the process exits. See internal/serve
 // for the endpoint reference and pkg/alayaclient for the Go SDK.
+//
+// With -peers the process runs as a cluster shard router instead: it owns
+// no KV substrate, places contexts on the listed remote alayad nodes, and
+// merges range-shard attention partials — the same HTTP and gRPC surfaces
+// front the router unchanged.
+//
+//	alayad -peers node0:8266,node1:8266 -cluster-shard-tokens 4096
 package main
 
 import (
@@ -24,11 +31,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/attention"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/devmem"
 	"repro/internal/model"
@@ -47,10 +56,21 @@ func main() {
 	}
 }
 
+// listener is one serving socket; a non-empty cert serves TLS with ALPN
+// (gRPC clients dial it with the grpcs:// scheme).
+type listener struct {
+	hs        *http.Server
+	cert, key string
+}
+
 func run() error {
 	var (
 		addr      = flag.String("addr", ":8265", "HTTP listen address")
 		grpcAddr  = flag.String("grpc-addr", "", "gRPC (h2c) listen address for the alaya.v1.AlayaDB service (empty = gRPC off)")
+		tlsCert   = flag.String("grpc-tls-cert", "", "TLS certificate for the gRPC listener; with -grpc-tls-key switches it from h2c to TLS+ALPN (clients dial grpcs://)")
+		tlsKey    = flag.String("grpc-tls-key", "", "TLS private key for the gRPC listener")
+		peers     = flag.String("peers", "", "comma-separated gRPC addresses of remote alayad nodes; set = run as a cluster shard router with no local substrate")
+		shardToks = flag.Int("cluster-shard-tokens", 0, "router mode: range-shard contexts longer than this many tokens across the cluster (0 = whole-context placement only)")
 		layers    = flag.Int("layers", 4, "model layers")
 		qheads    = flag.Int("qheads", 8, "query heads per layer")
 		kvheads   = flag.Int("kvheads", 2, "kv heads per layer")
@@ -71,6 +91,26 @@ func run() error {
 		shardMax  = flag.Int("ctx-shard-max", 0, "cap on range shards per context (0 = default 8)")
 	)
 	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return errors.New("-grpc-tls-cert and -grpc-tls-key must be set together")
+	}
+
+	if *peers != "" {
+		router, err := cluster.NewRouter(cluster.Options{
+			Peers:       strings.Split(*peers, ","),
+			ShardTokens: *shardToks,
+		})
+		if err != nil {
+			return err
+		}
+		srv := serve.NewServerFor(router,
+			serve.WithMaxBodyBytes(int64(*maxBodyMB*(1<<20))))
+		defer srv.Close()
+		log.Printf("alayad: cluster router over %d nodes (%s), shard threshold %d tokens",
+			len(strings.Split(*peers, ",")), *peers, *shardToks)
+		return serveAll(srv.Handler(), router, *addr, *grpcAddr, *tlsCert, *tlsKey, *drainSecs, srv.Close)
+	}
 
 	workPool := pool.Default()
 	if *poolSize > 0 {
@@ -130,21 +170,41 @@ func run() error {
 			ts.Dir, *spillGB, ts.SpilledContexts)
 	}
 
-	// Both transports front the one Service: same sessions, same metrics,
-	// same scheduler. serveErr is sized for every listener so a loser's
-	// ErrServerClosed during shutdown never blocks its goroutine.
-	listeners := []*http.Server{{Addr: *addr, Handler: srv.Handler()}}
-	if *grpcAddr != "" {
-		gsrv := agrpc.NewServer(srv.Service())
-		listeners = append(listeners, agrpc.NewHTTPServer(*grpcAddr, gsrv.Handler()))
-		log.Printf("alayad: serving gRPC (%s) on %s", "alaya.v1.AlayaDB", *grpcAddr)
+	return serveAll(srv.Handler(), srv.Core(), *addr, *grpcAddr, *tlsCert, *tlsKey, *drainSecs, srv.Close)
+}
+
+// serveAll mounts the HTTP handler and (optionally) the gRPC transport
+// over the same core, serves until a signal or a listener failure, then
+// drains. Both transports front the one core — a local Service or the
+// cluster router — so sessions created over one are visible to the
+// other.
+func serveAll(httpHandler http.Handler, c serve.Core, addr, grpcAddr, tlsCert, tlsKey string, drainSecs int, closeCore func() error) error {
+	listeners := []listener{{hs: &http.Server{Addr: addr, Handler: httpHandler}}}
+	if grpcAddr != "" {
+		gsrv := agrpc.NewServerFor(c)
+		wire := "h2c"
+		if tlsCert != "" {
+			wire = "tls+alpn"
+		}
+		listeners = append(listeners, listener{
+			hs:   agrpc.NewHTTPServer(grpcAddr, gsrv.Handler()),
+			cert: tlsCert,
+			key:  tlsKey,
+		})
+		log.Printf("alayad: serving gRPC (%s, %s) on %s", "alaya.v1.AlayaDB", wire, grpcAddr)
 	}
 	serveErr := make(chan error, len(listeners))
-	for _, hs := range listeners {
-		hs := hs
+	for _, l := range listeners {
+		l := l
 		go func() {
-			if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				serveErr <- fmt.Errorf("listener %s: %w", hs.Addr, err)
+			var err error
+			if l.cert != "" {
+				err = l.hs.ListenAndServeTLS(l.cert, l.key)
+			} else {
+				err = l.hs.ListenAndServe()
+			}
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				serveErr <- fmt.Errorf("listener %s: %w", l.hs.Addr, err)
 			} else {
 				serveErr <- nil
 			}
@@ -165,21 +225,21 @@ func run() error {
 	case <-sigCtx.Done():
 	}
 	stop()
-	log.Printf("alayad: shutting down (draining up to %ds)", *drainSecs)
-	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	log.Printf("alayad: shutting down (draining up to %ds)", drainSecs)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(drainSecs)*time.Second)
 	defer cancel()
 	var wg sync.WaitGroup
-	for _, hs := range listeners {
+	for _, l := range listeners {
 		wg.Add(1)
 		go func(hs *http.Server) {
 			defer wg.Done()
 			if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("alayad: shutdown %s: %v", hs.Addr, err)
 			}
-		}(hs)
+		}(l.hs)
 	}
 	wg.Wait()
-	if err := srv.Close(); err != nil {
+	if err := closeCore(); err != nil {
 		log.Printf("alayad: closing sessions: %v", err)
 	}
 	log.Printf("alayad: drained")

@@ -216,6 +216,32 @@ func MergeInto(dst []float32, parts []Partial) []float32 {
 	return dst
 }
 
+// CombinedLSE returns the log-sum-exp of the partials' own LSEs — the LSE
+// the merged output would report if it were itself a Partial. A remote
+// shard ships this alongside its merged output so a router can fold
+// per-node results through Merge again: the fold is associative exactly
+// because each level re-derives its weights from these combined LSEs.
+// All-empty input (every LSE = −Inf) returns −Inf.
+func CombinedLSE(parts []Partial) float64 {
+	maxLSE := math.Inf(-1)
+	for _, p := range parts {
+		if p.LSE > maxLSE {
+			maxLSE = p.LSE
+		}
+	}
+	if math.IsInf(maxLSE, -1) {
+		return maxLSE
+	}
+	var sum float64
+	for _, p := range parts {
+		if math.IsInf(p.LSE, -1) {
+			continue
+		}
+		sum += math.Exp(p.LSE - maxLSE)
+	}
+	return maxLSE + math.Log(sum)
+}
+
 // TokensForRecoveryScratch is TokensForRecovery sorting inside sc's arena
 // instead of copying w into a fresh slice per call.
 func TokensForRecoveryScratch(sc *Scratch, w []float32, target float64) int {

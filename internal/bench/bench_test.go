@@ -25,7 +25,7 @@ func tinyScale() Scale {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation", "alloc", "batching", "concurrent", "ctxpar", "fig10", "fig11", "fig12", "fig5", "fig6", "fig9", "prefix", "quant", "serving", "serving-grpc", "table3", "table4", "table5", "tiered", "window"}
+	want := []string{"ablation", "alloc", "batching", "cluster", "concurrent", "ctxpar", "fig10", "fig11", "fig12", "fig5", "fig6", "fig9", "prefix", "quant", "serving", "serving-grpc", "table3", "table4", "table5", "tiered", "window"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered experiments = %v, want %v", got, want)

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/index/graph"
+	"repro/internal/model"
+	"repro/internal/serve"
+	agrpc "repro/internal/serve/grpc"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("cluster", "cluster routing cost: decode step latency through the shard router over 1/2/4 in-process alayad nodes vs the local service, whole-context and range-sharded placement", runCluster)
+}
+
+// ClusterRow is one placement configuration's measured decode throughput.
+type ClusterRow struct {
+	// Name identifies the configuration: local (direct Service call, no
+	// wire), routed/N (whole-context placement through a router over N
+	// nodes), sharded/N (range shards fanned over N nodes and merged).
+	Name string `json:"name"`
+	// Nodes is the cluster size behind the router (0 for the local row).
+	Nodes int `json:"nodes"`
+	// TokensPerSec is end-to-end decode throughput: every step crosses
+	// the router's gRPC hop(s), attention compute included.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// MicrosPerStep is the same measurement as per-step latency.
+	MicrosPerStep float64 `json:"us_per_step"`
+}
+
+// ClusterReportData is the machine-readable artefact of the cluster
+// experiment (written to BENCH_PR10.json by CI): what routing a decode
+// step through the cluster costs against calling the local service, and
+// what range-shard fan-out plus log-sum-exp merge adds on top. Nodes are
+// real gRPC listeners on loopback, so the routed rows price serialization,
+// the HTTP/2 hop, and the router's bookkeeping — not network distance.
+type ClusterReportData struct {
+	ContextLen   int          `json:"context_len"`
+	Layers       int          `json:"layers"`
+	QHeads       int          `json:"q_heads"`
+	DecodeTokens int          `json:"decode_tokens"`
+	ShardTokens  int          `json:"shard_tokens"`
+	Rows         []ClusterRow `json:"rows"`
+	// RoutedOverLocal is routed/1 throughput over local — the pure cost
+	// of the router hop (expected well under 1.0; the hop adds a frame
+	// round trip per step).
+	RoutedOverLocal float64 `json:"routed_over_local"`
+	// ShardedOverRouted is sharded/4 over routed/4 — what fan-out and
+	// merge cost relative to a single proxied call at the same cluster
+	// size.
+	ShardedOverRouted float64 `json:"sharded_over_routed"`
+}
+
+// clusterNode is one in-process alayad: DB, service, gRPC listener.
+type clusterNode struct {
+	db  *core.DB
+	srv *serve.Server
+	hs  interface{ Close() error }
+	ln  net.Listener
+}
+
+func (n *clusterNode) close() {
+	n.hs.Close()
+	n.srv.Close()
+	n.db.Close()
+}
+
+func startClusterNode(s Scale) (*clusterNode, error) {
+	db, err := core.New(core.Config{
+		Model:         model.New(s.Model),
+		Window:        attention.Window{Sinks: 4, Recent: 16},
+		LongThreshold: 256,
+		Graph:         graph.Config{Degree: 16, QueryKNN: 12, EfConstruction: 64, Workers: s.Workers},
+		Workers:       s.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(db)
+	gsrv := agrpc.NewServer(srv.Service())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		db.Close()
+		return nil, err
+	}
+	hs := agrpc.NewHTTPServer(ln.Addr().String(), gsrv.Handler())
+	go hs.Serve(ln)
+	return &clusterNode{db: db, srv: srv, hs: hs, ln: ln}, nil
+}
+
+// clusterDecode times tokens decode steps against core (the router or a
+// local service — both implement serve.Core, so the measured loop is
+// identical).
+func clusterDecode(c serve.Core, id int64, inst workload.Instance, queries [][][][]float32) (float64, error) {
+	tok := inst.Doc.Tokens[inst.Doc.Len()-1]
+	// One untimed step warms connections and arena pools.
+	if _, err := c.Step(id, &serve.StepRequest{Token: tok, Queries: queries[0]}); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := range queries {
+		if _, err := c.Step(id, &serve.StepRequest{Token: tok, Queries: queries[i]}); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// ClusterReport measures routed decode at scale s. Every configuration
+// decodes the same token sequence with the same precomputed queries over
+// the same document, so the rows differ only in how many hops and merges
+// each step crosses.
+func ClusterReport(s Scale) (*ClusterReportData, error) {
+	s.Defaults()
+	m := model.New(s.Model)
+	mc := m.Config()
+	p, _ := workload.ProfileByName("Retr.P")
+	inst := workload.Generate(p, s.Seed, s.ContextLen, 64, s.Model.Vocab)
+
+	tokens := 8 * s.Trials
+	queries := make([][][][]float32, tokens)
+	for i := range queries {
+		queries[i] = make([][][]float32, mc.Layers)
+		for l := range queries[i] {
+			queries[i][l] = make([][]float32, mc.QHeads)
+			for h := range queries[i][l] {
+				queries[i][l][h] = m.QueryVector(inst.Doc, l, h, model.QuerySpec{
+					FocusTopics: inst.Question, Step: i, ContextLen: inst.Doc.Len()})
+			}
+		}
+	}
+
+	shardTokens := (inst.Doc.Len() + 3) / 4
+	data := &ClusterReportData{
+		ContextLen:   inst.Doc.Len(),
+		Layers:       mc.Layers,
+		QHeads:       mc.QHeads,
+		DecodeTokens: tokens,
+		ShardTokens:  shardTokens,
+	}
+	addRow := func(name string, nodes int, elapsed float64) {
+		data.Rows = append(data.Rows, ClusterRow{
+			Name:          name,
+			Nodes:         nodes,
+			TokensPerSec:  float64(tokens) / elapsed,
+			MicrosPerStep: elapsed / float64(tokens) * 1e6,
+		})
+	}
+
+	// Local baseline: the service core called directly, no wire at all.
+	local, err := startClusterNode(s)
+	if err != nil {
+		return nil, err
+	}
+	svc := local.srv.Service()
+	resp, err := svc.CreateSession(&serve.CreateSessionRequest{Seed: inst.Doc.Seed, Tokens: inst.Doc.Tokens})
+	if err != nil {
+		local.close()
+		return nil, err
+	}
+	if _, err := svc.Prefill(resp.SessionID); err != nil {
+		local.close()
+		return nil, err
+	}
+	elapsed, err := clusterDecode(svc, resp.SessionID, inst, queries)
+	local.close()
+	if err != nil {
+		return nil, fmt.Errorf("bench: cluster local: %w", err)
+	}
+	addRow("local", 0, elapsed)
+
+	// Routed and sharded rows: a router over n loopback nodes.
+	measure := func(name string, n, shardToks int) error {
+		nodes := make([]*clusterNode, n)
+		addrs := make([]string, n)
+		for i := range nodes {
+			cn, err := startClusterNode(s)
+			if err != nil {
+				return err
+			}
+			nodes[i] = cn
+			addrs[i] = cn.ln.Addr().String()
+		}
+		defer func() {
+			for _, cn := range nodes {
+				cn.close()
+			}
+		}()
+		r, err := cluster.NewRouter(cluster.Options{Peers: addrs, ShardTokens: shardToks, ProbeInterval: -1})
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		resp, err := r.CreateSession(&serve.CreateSessionRequest{Seed: inst.Doc.Seed, Tokens: inst.Doc.Tokens})
+		if err != nil {
+			return err
+		}
+		if _, err := r.Prefill(resp.SessionID); err != nil {
+			return err
+		}
+		elapsed, err := clusterDecode(r, resp.SessionID, inst, queries)
+		if err != nil {
+			return fmt.Errorf("bench: cluster %s: %w", name, err)
+		}
+		addRow(name, n, elapsed)
+		return nil
+	}
+	for _, n := range []int{1, 2, 4} {
+		if err := measure(fmt.Sprintf("routed/%d", n), n, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := measure("sharded/4", 4, shardTokens); err != nil {
+		return nil, err
+	}
+
+	byName := map[string]float64{}
+	for _, r := range data.Rows {
+		byName[r.Name] = r.TokensPerSec
+	}
+	if byName["local"] > 0 {
+		data.RoutedOverLocal = byName["routed/1"] / byName["local"]
+	}
+	if byName["routed/4"] > 0 {
+		data.ShardedOverRouted = byName["sharded/4"] / byName["routed/4"]
+	}
+	return data, nil
+}
+
+// WriteClusterTable renders the report as the experiment's textual
+// artefact.
+func WriteClusterTable(data *ClusterReportData, w io.Writer) {
+	fmt.Fprintf(w, "cluster routing cost: context %d, %d layers x %d heads, %d decode tokens, loopback gRPC nodes, shard threshold %d tokens\n\n",
+		data.ContextLen, data.Layers, data.QHeads, data.DecodeTokens, data.ShardTokens)
+	t := &table{header: []string{"placement", "nodes", "tokens/sec", "us/step"}}
+	for _, r := range data.Rows {
+		nodes := "-"
+		if r.Nodes > 0 {
+			nodes = fmt.Sprintf("%d", r.Nodes)
+		}
+		t.add(r.Name, nodes, fmt.Sprintf("%.1f", r.TokensPerSec), f1(r.MicrosPerStep))
+	}
+	t.write(w)
+	fmt.Fprintf(w, "\nrouted/1 vs local: %.2fx; sharded/4 vs routed/4: %.2fx\n",
+		data.RoutedOverLocal, data.ShardedOverRouted)
+	fmt.Fprintln(w, "expectation: routed rows are flat across cluster sizes (one hop per step regardless of nodes); the sharded row prices fan-out plus log-sum-exp merge against one proxied call")
+}
+
+// runCluster is the experiment runner.
+func runCluster(s Scale, w io.Writer) error {
+	data, err := ClusterReport(s)
+	if err != nil {
+		return err
+	}
+	WriteClusterTable(data, w)
+	return nil
+}

@@ -631,6 +631,30 @@ func (db *DB) CreateSession(doc *model.Document) (*Session, int) {
 	return s, bestLen
 }
 
+// CreateSpanSession opens a range-shard session over rows [lo, hi) of doc —
+// one shard of a context a cluster router has split across nodes. The
+// session carries the full document (KV generation is absolute-position
+// dependent) but ingests and attends only its span: lo plays the reuseLen
+// role with no backing context, so the span rows live in the session tail
+// and are attended exactly — the shard's attention output is a precise
+// log-sum-exp Partial of the whole context's softmax, ready for the
+// router's second-level merge. hi == 0 makes the shard open-ended: it owns
+// [lo, ∞), ingests generated tokens, and is the one shard whose ContextLen
+// tracks the full context. Span sessions skip prefix-tree reuse and cannot
+// be stored.
+func (db *DB) CreateSpanSession(doc *model.Document, lo, hi int) (*Session, error) {
+	if lo < 0 || lo > doc.Len() {
+		return nil, fmt.Errorf("core: span lo %d out of range [0, %d]", lo, doc.Len())
+	}
+	if hi != 0 && (hi <= lo || hi > doc.Len()) {
+		return nil, fmt.Errorf("core: span [%d, %d) invalid for a %d-token document", lo, hi, doc.Len())
+	}
+	s := newSession(db, nil, lo, doc)
+	s.span = true
+	s.spanHi = hi
+	return s, nil
+}
+
 // Store persists a session's state as a new reusable context (DB.store in
 // Table 2). A session that reuses a stored prefix produces a
 // copy-on-write context: the new context shares the base's KV rows, graph
@@ -644,6 +668,14 @@ func (db *DB) CreateSession(doc *model.Document) (*Session, int) {
 // takes the original late-materialization path (§7.2): its tail becomes a
 // fresh root context whose indexes are built now, not during decoding.
 func (db *DB) Store(s *Session) (*Context, error) {
+	if s.span {
+		// A shard session's tail starts at an arbitrary offset with no
+		// backing context below it; materializing it would persist a
+		// hole-filled cache. Store belongs to the session that owns the
+		// whole context (on a router: nowhere — sharded contexts live
+		// distributed or not at all).
+		return nil, fmt.Errorf("core: a range-shard span session cannot be stored")
+	}
 	if s.base == nil {
 		doc, cache, err := s.materialize()
 		if err != nil {

@@ -91,6 +91,8 @@ type Session struct {
 	reuseLen     int      // tokens reused from base
 	indexedLen   int      // leading tokens searchable through root's indexes
 	mids         []kvSeg  // chain rows [indexedLen, reuseLen), root-first
+	span         bool     // range-shard session: attends only [reuseLen, spanHi)
+	spanHi       int      // exclusive span end; 0 = open (the tail-owner shard)
 	doc          *model.Document
 	tail         *kvcache.Cache
 
@@ -245,22 +247,44 @@ func (s *Session) Update(layer int, ks, vs [][]float32) {
 // tokens ingested per layer.
 func (s *Session) PrefillRemaining() int {
 	mc := s.db.cfg.Model.Config()
-	fed := s.doc.Len() - s.reuseLen - s.tail.SeqLen(0)
+	end := s.spanEnd()
+	fed := end - s.reuseLen - s.tail.SeqLen(0)
 	if fed < 0 {
 		fed = 0
 	}
 	s.db.cfg.Pool.ForEach(mc.Layers, func(l int) {
 		start := s.reuseLen + s.tail.SeqLen(l)
-		for pos := start; pos < s.doc.Len(); pos++ {
+		for pos := start; pos < end; pos++ {
 			s.ingest(l, pos)
 		}
 	})
 	return fed
 }
 
+// spanEnd returns the exclusive end of the rows this session ingests: the
+// whole document, capped at spanHi for a fixed range-shard session.
+func (s *Session) spanEnd() int {
+	if s.span && s.spanHi > 0 && s.spanHi < s.doc.Len() {
+		return s.spanHi
+	}
+	return s.doc.Len()
+}
+
+// Span reports whether this is a range-shard session (created by
+// CreateSpanSession); FixedSpan additionally reports a bounded shard —
+// one that must never ingest generated tokens (the open tail-owner shard
+// does; it is the only shard a routed AppendToken lands on).
+func (s *Session) Span() bool      { return s.span }
+func (s *Session) FixedSpan() bool { return s.span && s.spanHi > 0 }
+
 // AppendToken extends the session document with a newly generated token and
-// ingests its KV across all layers, fanned out layer-per-task.
+// ingests its KV across all layers, fanned out layer-per-task. Fixed-span
+// shard sessions never ingest generated tokens (the serving layer routes
+// them attend-only); feeding one is a caller bug, not a recoverable state.
 func (s *Session) AppendToken(t model.Token) {
+	if s.FixedSpan() {
+		panic("core: AppendToken on a fixed-span shard session")
+	}
 	pos := s.doc.Append(t)
 	mc := s.db.cfg.Model.Config()
 	s.db.cfg.Pool.ForEach(mc.Layers, func(l int) {
@@ -290,6 +314,11 @@ type AttentionResult struct {
 	RetrievedIDs []int // the retrieved positions themselves
 	Explored     int   // index nodes scored
 	Attended     int   // total tokens that participated in the output
+	// LSE is the combined log-sum-exp over every merged partial — the
+	// weight a second-level merge (a cluster router folding per-node
+	// partials) needs to treat this whole result as one Partial. −Inf
+	// when nothing attended.
+	LSE float64
 }
 
 // Attention computes the attention output of q for (layer, qHead) over the
@@ -684,6 +713,7 @@ func (s *Session) sparseOutputInto(ds *decodeState, plan query.Plan, layer, kv i
 		res.Output = res.Output[:len(q)]
 	}
 	attention.MergeInto(res.Output, ds.parts)
+	res.LSE = attention.CombinedLSE(ds.parts)
 	return len(prefixIdx) + segRows
 }
 

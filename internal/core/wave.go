@@ -26,6 +26,10 @@ type StepItem struct {
 	Token   model.Token
 	Queries [][][]float32
 	Out     [][]AttentionResult
+	// AttendOnly skips the token ingest: the item scores its queries over
+	// the session's current context unchanged — the fixed-span shard leg
+	// of a routed decode step.
+	AttendOnly bool
 }
 
 // StepWave runs one decode step for every item as a single shared
@@ -47,7 +51,11 @@ func StepWave(p *pool.Pool, items []StepItem) {
 		return
 	case 1:
 		// One tenant: identical to the serial step, no wave machinery.
-		items[0].Sess.StepInto(items[0].Token, items[0].Queries, items[0].Out)
+		if items[0].AttendOnly {
+			items[0].Sess.StepAttendOnlyInto(items[0].Queries, items[0].Out)
+		} else {
+			items[0].Sess.StepInto(items[0].Token, items[0].Queries, items[0].Out)
+		}
 		return
 	}
 
@@ -79,6 +87,9 @@ func StepWave(p *pool.Pool, items []StepItem) {
 	// per-layer ingest, which nests safely (a saturated pool degrades to
 	// inline execution).
 	p.ForEach(len(items), func(i int) {
+		if items[i].AttendOnly {
+			return
+		}
 		items[i].Sess.AppendToken(items[i].Token)
 	})
 

@@ -1,0 +1,106 @@
+package metrics
+
+import "sync/atomic"
+
+// ClusterCounters measures a shard router's routing activity: calls
+// proxied to owning nodes, sharded fan-outs, partial merges folded, and
+// calls that died against an unreachable node. Plain atomics like the
+// other counter families — the router touches them on every proxied
+// call. Safe for concurrent use; the zero value is ready.
+type ClusterCounters struct {
+	routed      atomic.Int64
+	fanouts     atomic.Int64
+	fanoutCalls atomic.Int64
+	merges      atomic.Int64
+	unavailable atomic.Int64
+	retries     atomic.Int64
+}
+
+// Routed records one call proxied whole to a single owning node.
+func (c *ClusterCounters) Routed() { c.routed.Add(1) }
+
+// Fanout records one logical call fanned across n shard nodes.
+func (c *ClusterCounters) Fanout(n int) {
+	c.fanouts.Add(1)
+	c.fanoutCalls.Add(int64(n))
+}
+
+// Merged records n per-head partial merges folded into final outputs.
+func (c *ClusterCounters) Merged(n int) { c.merges.Add(int64(n)) }
+
+// Unavailable records one call refused or failed because its node is
+// unreachable or demoted.
+func (c *ClusterCounters) Unavailable() { c.unavailable.Add(1) }
+
+// Retried records one probe-driven reconnect attempt to a demoted node.
+func (c *ClusterCounters) Retried() { c.retries.Add(1) }
+
+// NodeCounters tracks one peer's routed traffic. Safe for concurrent
+// use; the zero value is ready.
+type NodeCounters struct {
+	calls  atomic.Int64
+	errors atomic.Int64
+}
+
+// Call records one RPC routed to the node, failed or not.
+func (c *NodeCounters) Call(failed bool) {
+	c.calls.Add(1)
+	if failed {
+		c.errors.Add(1)
+	}
+}
+
+// Calls returns the routed-call count.
+func (c *NodeCounters) Calls() int64 { return c.calls.Load() }
+
+// Errors returns the failed-call count.
+func (c *NodeCounters) Errors() int64 { return c.errors.Load() }
+
+// ClusterNodeSnapshot is one peer's row in the cluster stats.
+type ClusterNodeSnapshot struct {
+	// Addr is the node's gRPC dial target.
+	Addr string `json:"addr"`
+	// Healthy reports the last health probe's verdict.
+	Healthy bool `json:"healthy"`
+	// Sessions is how many router sessions hold a shard on this node.
+	Sessions int `json:"sessions"`
+	// Calls counts RPCs routed to the node; Errors the failed ones.
+	Calls  int64 `json:"calls"`
+	Errors int64 `json:"errors"`
+}
+
+// ClusterSnapshot is the shard router's /v1/stats block.
+type ClusterSnapshot struct {
+	// Nodes lists every configured peer in placement order.
+	Nodes []ClusterNodeSnapshot `json:"nodes"`
+	// Sessions is the router's open logical session count; Sharded of
+	// those are range-sharded across more nodes than one.
+	Sessions int `json:"sessions"`
+	Sharded  int `json:"sharded"`
+	// ShardTokens is the configured sharding threshold (0 = whole-context
+	// placement only).
+	ShardTokens int `json:"shard_tokens,omitempty"`
+	// Routed counts calls proxied whole to one owning node; Fanouts
+	// logical calls split across shards (FanoutCalls their per-node RPC
+	// total); Merges per-head partial folds; Unavailable calls that died
+	// against demoted or unreachable nodes; Retries probe reconnects.
+	Routed      int64 `json:"routed"`
+	Fanouts     int64 `json:"fanouts"`
+	FanoutCalls int64 `json:"fanout_calls"`
+	Merges      int64 `json:"merges"`
+	Unavailable int64 `json:"unavailable"`
+	Retries     int64 `json:"retries"`
+}
+
+// Snapshot copies the router-wide counters; the caller fills nodes,
+// session gauges and configuration.
+func (c *ClusterCounters) Snapshot() ClusterSnapshot {
+	return ClusterSnapshot{
+		Routed:      c.routed.Load(),
+		Fanouts:     c.fanouts.Load(),
+		FanoutCalls: c.fanoutCalls.Load(),
+		Merges:      c.merges.Load(),
+		Unavailable: c.unavailable.Load(),
+		Retries:     c.retries.Load(),
+	}
+}

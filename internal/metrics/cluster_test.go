@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClusterCounters(t *testing.T) {
+	var c ClusterCounters
+	c.Routed()
+	c.Routed()
+	c.Fanout(3)
+	c.Merged(8)
+	c.Unavailable()
+	c.Retried()
+	s := c.Snapshot()
+	if s.Routed != 2 || s.Fanouts != 1 || s.FanoutCalls != 3 || s.Merges != 8 || s.Unavailable != 1 || s.Retries != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestClusterCountersConcurrent(t *testing.T) {
+	var c ClusterCounters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Routed()
+				c.Fanout(2)
+				c.Merged(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Routed != 800 || s.Fanouts != 800 || s.FanoutCalls != 1600 || s.Merges != 800 {
+		t.Fatalf("concurrent snapshot = %+v", s)
+	}
+}
+
+func TestNodeCounters(t *testing.T) {
+	var n NodeCounters
+	n.Call(false)
+	n.Call(true)
+	n.Call(false)
+	if n.Calls() != 3 || n.Errors() != 1 {
+		t.Fatalf("calls = %d errors = %d, want 3 and 1", n.Calls(), n.Errors())
+	}
+}

@@ -18,27 +18,37 @@ import (
 //
 //	offset  size  field
 //	0       4     magic "ALYF"
-//	4       1     version (1)
+//	4       1     version (2)
 //	5       1     kind (Frame* constants)
 //	6       2     reserved (0)
 //	8       4     payload length (bytes after this header)
 //	12      …     payload
 //
 // Payloads are packed little-endian with no padding. Scalars: u16/u32 are
-// unsigned ints, f32 is IEEE-754 bits (math.Float32bits — codecs never
-// reformat a float, which is what makes binary and JSON byte-identical in
-// value space). Strings are u16 length + UTF-8 bytes. Composite layouts:
+// unsigned ints, f32/f64 are IEEE-754 bits (math.Float32bits /
+// math.Float64bits — codecs never reformat a float, which is what makes
+// binary and JSON byte-identical in value space). Strings are u16 length
+// + UTF-8 bytes. Composite layouts:
 //
 //	token        := topic u32 | payload u32 | salience f32
 //	vec(d)       := d × f32
 //	attnReq      := layer u32 | qhead u32 | dim u32 | vec(dim)
-//	attnResp     := plan string | retrieved u32 | attended u32 | dim u32 | vec(dim)
+//	attnResp     := plan string | retrieved u32 | attended u32 | lse f64 | dim u32 | vec(dim)
 //	attnAllReq   := layer u32 | heads u32 | dim u32 | heads × vec(dim)
 //	attnAllResp  := heads u32 | heads × attnResp
-//	stepReq      := token | layers u32 | heads u32 | dim u32 | layers × heads × vec(dim)
+//	stepReq      := token | flags u8 | layers u32 | heads u32 | dim u32 | layers × heads × vec(dim)
 //	stepResp     := ctxlen u32 | layers u32 | layers × (heads u32 | heads × attnResp)
 //	stepsReq     := count u32 | count × stepReq
 //	stepsResp    := count u32 | count × stepResp
+//
+// stepReq flags: bit 0 = attend-only (score the queries without ingesting
+// the token — the fixed-span shard leg of a routed decode step); higher
+// bits reserved (must be 0).
+//
+// Version history: v1 had no lse field in attnResp and no flags byte in
+// stepReq; v2 (this codec) added both for the cluster router's partial
+// merge. Both peers of a deployment speak one version — decoders reject
+// any other.
 //
 // Geometry fields are authoritative: decoders allocate from them only
 // after checking they fit in the remaining payload, so a crafted frame
@@ -48,7 +58,7 @@ import (
 const FrameContentType = "application/x-alaya-frame"
 
 // FrameVersion is the wire version this codec speaks.
-const FrameVersion = 1
+const FrameVersion = 2
 
 const frameMagic = "ALYF"
 
@@ -271,6 +281,12 @@ func appendF32(buf []byte, v float32) []byte {
 	return appendU32(buf, math.Float32bits(v))
 }
 
+func appendF64(buf []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	buf = appendU32(buf, uint32(bits))
+	return appendU32(buf, uint32(bits>>32))
+}
+
 func appendString(buf []byte, s string) []byte {
 	buf = appendU16(buf, uint16(len(s)))
 	return append(buf, s...)
@@ -295,6 +311,7 @@ func appendAttnResp(buf []byte, m *AttentionResponse) []byte {
 	buf = appendString(buf, m.Plan)
 	buf = appendU32(buf, uint32(m.Retrieved))
 	buf = appendU32(buf, uint32(m.Attended))
+	buf = appendF64(buf, m.LSE)
 	return appendVec(buf, m.Output)
 }
 
@@ -343,6 +360,11 @@ func appendStepReq(buf []byte, m *StepRequest) ([]byte, error) {
 		}
 	}
 	buf = appendToken(buf, m.Token)
+	var flags byte
+	if m.AttendOnly {
+		flags |= 1
+	}
+	buf = append(buf, flags)
 	buf = appendU32(buf, uint32(layers))
 	buf = appendU32(buf, uint32(heads))
 	buf = appendU32(buf, uint32(dim))
@@ -372,8 +394,8 @@ func appendStepResp(buf []byte, m *StepResponse) []byte {
 
 // Minimum encoded sizes, used to bound count fields before allocating.
 const (
-	attnRespMinLen = 2 + 4 + 4 + 4 // empty plan, empty output
-	stepReqMinLen  = 12 + 4 + 4 + 4
+	attnRespMinLen = 2 + 4 + 4 + 8 + 4 // empty plan, lse, empty output
+	stepReqMinLen  = 12 + 1 + 4 + 4 + 4
 	stepRespMinLen = 4 + 4
 )
 
@@ -425,6 +447,20 @@ func (r *frameReader) f32() float32 {
 	return math.Float32frombits(r.u32())
 }
 
+func (r *frameReader) f64() float64 {
+	lo := uint64(r.u32())
+	hi := uint64(r.u32())
+	return math.Float64frombits(hi<<32 | lo)
+}
+
+func (r *frameReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
 func (r *frameReader) str() string {
 	n := int(r.u16())
 	b := r.take(n)
@@ -473,6 +509,7 @@ func (r *frameReader) attnResp(m *AttentionResponse) {
 	m.Plan = r.str()
 	m.Retrieved = int(r.u32())
 	m.Attended = int(r.u32())
+	m.LSE = r.f64()
 	m.Output = r.vec()
 }
 
@@ -536,6 +573,12 @@ func (r *frameReader) attnAllReq(m *AttentionAllRequest) {
 
 func (r *frameReader) stepReq(m *StepRequest) {
 	m.Token = r.token()
+	flags := r.u8()
+	if flags&^1 != 0 {
+		r.fail("unknown stepReq flags %#x", flags)
+		return
+	}
+	m.AttendOnly = flags&1 != 0
 	layers := int(r.u32())
 	heads := int(r.u32())
 	dim := int(r.u32())

@@ -197,6 +197,7 @@ func TestFrameCraftedGeometry(t *testing.T) {
 	crafted := []byte(frameMagic)
 	crafted = append(crafted, FrameVersion, FrameStepRequest, 0, 0)
 	payload := appendToken(nil, model.Token{})
+	payload = append(payload, 0)                // flags
 	payload = appendU32(payload, 1_000_000_000) // layers
 	payload = appendU32(payload, 1_000_000_000) // heads
 	payload = appendU32(payload, 1_000_000_000) // dim
@@ -212,6 +213,7 @@ func TestFrameCraftedGeometry(t *testing.T) {
 	crafted = []byte(frameMagic)
 	crafted = append(crafted, FrameVersion, FrameStepRequest, 0, 0)
 	payload = appendToken(nil, model.Token{})
+	payload = append(payload, 0)             // flags
 	payload = appendU32(payload, 16_000_000) // layers
 	payload = appendU32(payload, 16_000_000) // heads
 	payload = appendU32(payload, 0)          // dim

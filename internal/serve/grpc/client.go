@@ -3,6 +3,7 @@ package grpc
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,11 +44,43 @@ func WithHTTPClient(hc *http.Client) DialOption {
 	return func(c *ClientConn) { c.hc = hc }
 }
 
-// Dial returns a connection to a gRPC server at target ("host:port" or
-// "http://host:port"). There is no handshake at dial time — like gRPC
-// proper, connection establishment is lazy.
+// WithDialTLS dials the target over TLS (scheme https) using cfg, which
+// may be nil for the host defaults. ALPN negotiates h2 — the encrypted
+// twin of the cleartext h2c default. Implies the grpcs:// scheme when
+// the target carried none.
+func WithDialTLS(cfg *tls.Config) DialOption {
+	return func(c *ClientConn) {
+		if cfg != nil {
+			cfg = cfg.Clone()
+		}
+		protocols := new(http.Protocols)
+		protocols.SetHTTP2(true)
+		c.hc = &http.Client{Transport: &http.Transport{
+			Protocols:         protocols,
+			TLSClientConfig:   cfg,
+			ForceAttemptHTTP2: true,
+		}}
+		if strings.HasPrefix(c.base, "http://") {
+			c.base = "https://" + strings.TrimPrefix(c.base, "http://")
+		}
+	}
+}
+
+// Dial returns a connection to a gRPC server at target ("host:port",
+// "http://host:port", or "grpcs://host:port" for TLS+ALPN). There is no
+// handshake at dial time — like gRPC proper, connection establishment is
+// lazy.
 func Dial(target string, opts ...DialOption) *ClientConn {
-	if !strings.Contains(target, "://") {
+	var wantTLS bool
+	switch {
+	case strings.HasPrefix(target, "grpcs://"):
+		target = "https://" + strings.TrimPrefix(target, "grpcs://")
+		wantTLS = true
+	case strings.HasPrefix(target, "grpc://"):
+		target = "http://" + strings.TrimPrefix(target, "grpc://")
+	case strings.HasPrefix(target, "https://"):
+		wantTLS = true
+	case !strings.Contains(target, "://"):
 		target = "http://" + target
 	}
 	protocols := new(http.Protocols)
@@ -57,10 +90,28 @@ func Dial(target string, opts ...DialOption) *ClientConn {
 		hc:      &http.Client{Transport: &http.Transport{Protocols: protocols}},
 		maxRecv: DefaultMaxRecvBytes,
 	}
+	if wantTLS {
+		WithDialTLS(nil)(c)
+	}
 	for _, fn := range opts {
 		fn(c)
 	}
 	return c
+}
+
+// Target returns the base URL the connection dials.
+func (c *ClientConn) Target() string { return c.base }
+
+// unavailableErr wraps a transport-level failure — a dead dial, a reset
+// connection, a load-shedding 503 — as the typed UNAVAILABLE status, so
+// callers branch on one error shape whether the node refused at the TCP,
+// HTTP, or gRPC layer.
+func unavailableErr(format string, args ...interface{}) *StatusError {
+	return &StatusError{
+		Code:    CodeUnavailable,
+		Kind:    serve.KindUnavailable,
+		Message: fmt.Sprintf(format, args...),
+	}
 }
 
 // Close releases idle connections.
@@ -114,6 +165,19 @@ func statusOf(h http.Header) (err error, ok bool) {
 // a headers-level (trailers-only) status if present.
 func checkResponse(resp *http.Response) error {
 	if resp.StatusCode != http.StatusOK {
+		// A non-200 never came from the gRPC layer (which always answers
+		// 200 + trailers): it is a proxy or server shedding load. Surface
+		// the retryable ones as typed UNAVAILABLE.
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+			return unavailableErr("grpc: transport error: HTTP %s", resp.Status)
+		case http.StatusTooManyRequests:
+			return &StatusError{
+				Code:    CodeResourceExhausted,
+				Kind:    serve.KindOverloaded,
+				Message: fmt.Sprintf("grpc: transport error: HTTP %s", resp.Status),
+			}
+		}
 		return fmt.Errorf("grpc: transport error: HTTP %s", resp.Status)
 	}
 	if ct := resp.Header.Get("Content-Type"); !isGRPCContentType(ct) {
@@ -139,7 +203,7 @@ func (c *ClientConn) Invoke(ctx context.Context, method string, in, out pb.Messa
 	resp, err := c.hc.Do(req)
 	done()
 	if err != nil {
-		return err
+		return unavailableErr("grpc: %s: dial %s: %v", method, c.base, err)
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -199,7 +263,7 @@ func (c *ClientConn) OpenStream(ctx context.Context, method string, in pb.Messag
 	resp, err := c.hc.Do(req)
 	done()
 	if err != nil {
-		return nil, err
+		return nil, unavailableErr("grpc: %s: dial %s: %v", method, c.base, err)
 	}
 	if err := checkResponse(resp); err != nil && err != io.EOF {
 		io.Copy(io.Discard, resp.Body)

@@ -65,6 +65,8 @@ var messages = []message{
 		fields: []field{
 			{"Seed", "seed", 1, "uint64", false, "", "document identity for prefix reuse"},
 			{"Tokens", "tokens", 2, "message", true, "Token", "prompt tokens"},
+			{"SpanLo", "span_lo", 3, "int64", false, "", "range-shard span start (cluster shards)"},
+			{"SpanHi", "span_hi", 4, "int64", false, "", "exclusive span end; 0 = open tail"},
 		},
 	},
 	{

@@ -14,13 +14,16 @@ import (
 	"repro/internal/serve/grpc/pb"
 )
 
-// Server serves the alaya.v1.AlayaDB gRPC service over a serve.Service
-// core. It is an http.Handler: mount it on any h2c-capable http.Server
-// (see NewHTTPServer) — including one shared with the HTTP transport,
-// since the two route by path and both drain through the same
-// http.Server.Shutdown. Per-endpoint metrics come for free: the Service
-// core counts every call, whichever transport carried it.
+// Server serves the alaya.v1.AlayaDB gRPC service over a serve.Core —
+// the single-node *serve.Service or the cluster shard router, the wire
+// cannot tell them apart. It is an http.Handler: mount it on any
+// h2c-capable http.Server (see NewHTTPServer) — including one shared
+// with the HTTP transport, since the two route by path and both drain
+// through the same http.Server.Shutdown. Per-endpoint metrics come for
+// free: the Service core counts every call, whichever transport carried
+// it.
 type Server struct {
+	core    serve.Core
 	svc     *serve.Service
 	maxRecv int64
 }
@@ -42,15 +45,27 @@ func WithMaxRecvBytes(n int64) Option {
 // not owned: closing it is the caller's job (alayad closes it once after
 // both transports drain).
 func NewServer(svc *serve.Service, opts ...Option) *Server {
-	s := &Server{svc: svc, maxRecv: DefaultMaxRecvBytes}
+	srv := NewServerFor(svc, opts...)
+	srv.svc = svc
+	return srv
+}
+
+// NewServerFor returns a gRPC transport over any Core — a local Service
+// or a cluster router. The core is shared, not owned.
+func NewServerFor(c serve.Core, opts ...Option) *Server {
+	s := &Server{core: c, maxRecv: DefaultMaxRecvBytes}
 	for _, fn := range opts {
 		fn(s)
 	}
 	return s
 }
 
-// Service returns the transport-agnostic core.
+// Service returns the local single-node core, or nil when the server
+// fronts a router or other non-Service Core.
 func (s *Server) Service() *serve.Service { return s.svc }
+
+// Core returns the transport-agnostic core.
+func (s *Server) Core() serve.Core { return s.core }
 
 // Handler returns the handler serving every AlayaDB method.
 func (s *Server) Handler() http.Handler { return s }
@@ -164,11 +179,16 @@ func (s *Server) dispatch(path string, body []byte) (pb.Message, error) {
 		if err := req.UnmarshalProto(body); err != nil {
 			return nil, serve.BadRequestf("bad request proto: %v", err)
 		}
-		doc := &serve.CreateSessionRequest{Seed: req.Seed, Tokens: make([]model.Token, len(req.Tokens))}
+		doc := &serve.CreateSessionRequest{
+			Seed:   req.Seed,
+			Tokens: make([]model.Token, len(req.Tokens)),
+			SpanLo: int(req.SpanLo),
+			SpanHi: int(req.SpanHi),
+		}
 		for i, t := range req.Tokens {
 			doc.Tokens[i] = model.Token{Topic: int(t.Topic), Payload: int(t.Payload), Salience: t.Salience}
 		}
-		resp, err := s.svc.CreateSession(doc)
+		resp, err := s.core.CreateSession(doc)
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +199,7 @@ func (s *Server) dispatch(path string, body []byte) (pb.Message, error) {
 		if err := req.UnmarshalProto(body); err != nil {
 			return nil, serve.BadRequestf("bad request proto: %v", err)
 		}
-		resp, err := s.svc.Prefill(req.SessionID)
+		resp, err := s.core.Prefill(req.SessionID)
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +210,7 @@ func (s *Server) dispatch(path string, body []byte) (pb.Message, error) {
 		if err := req.UnmarshalProto(body); err != nil {
 			return nil, serve.BadRequestf("bad request proto: %v", err)
 		}
-		resp, err := s.svc.Update(req.SessionID, &serve.UpdateRequest{Token: model.Token{
+		resp, err := s.core.Update(req.SessionID, &serve.UpdateRequest{Token: model.Token{
 			Topic: int(req.Token.Topic), Payload: int(req.Token.Payload), Salience: req.Token.Salience,
 		}})
 		if err != nil {
@@ -200,26 +220,26 @@ func (s *Server) dispatch(path string, body []byte) (pb.Message, error) {
 
 	case pb.MethodAttention:
 		var sr serve.AttentionRequest
-		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.svc.Attention(id, &sr) })
+		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.core.Attention(id, &sr) })
 
 	case pb.MethodAttentionAll:
 		var sr serve.AttentionAllRequest
-		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.svc.AttentionAll(id, &sr) })
+		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.core.AttentionAll(id, &sr) })
 
 	case pb.MethodStep:
 		var sr serve.StepRequest
-		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.svc.Step(id, &sr) })
+		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.core.Step(id, &sr) })
 
 	case pb.MethodSteps:
 		var sr serve.StepsRequest
-		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.svc.Steps(id, &sr) })
+		return s.frameCall(body, &sr, func(id int64) (interface{}, error) { return s.core.Steps(id, &sr) })
 
 	case pb.MethodStore:
 		var req pb.SessionRequest
 		if err := req.UnmarshalProto(body); err != nil {
 			return nil, serve.BadRequestf("bad request proto: %v", err)
 		}
-		resp, err := s.svc.Store(req.SessionID)
+		resp, err := s.core.Store(req.SessionID)
 		if err != nil {
 			return nil, err
 		}
@@ -230,18 +250,18 @@ func (s *Server) dispatch(path string, body []byte) (pb.Message, error) {
 		if err := req.UnmarshalProto(body); err != nil {
 			return nil, serve.BadRequestf("bad request proto: %v", err)
 		}
-		resp, err := s.svc.CloseSession(req.SessionID)
+		resp, err := s.core.CloseSession(req.SessionID)
 		if err != nil {
 			return nil, err
 		}
 		return &pb.CloseSessionResponse{Status: resp.Status}, nil
 
 	case pb.MethodHealthz:
-		hz := s.svc.Healthz()
+		hz := s.core.Healthz()
 		return &pb.HealthzResponse{Status: hz.Status, OpenSessions: int64(hz.OpenSessions)}, nil
 
 	case pb.MethodStats:
-		resp, err := s.svc.Stats()
+		resp, err := s.core.Stats()
 		if err != nil {
 			return nil, err
 		}
@@ -330,7 +350,7 @@ func (s *Server) stepStream(ctx context.Context, w http.ResponseWriter, body []b
 		return nil
 	}
 
-	err := s.svc.StepStream(ctx, fr.SessionID, &sreq, sink)
+	err := s.core.StepStream(ctx, fr.SessionID, &sreq, sink)
 	if err != nil && !started {
 		s.finish(w, err)
 		return

@@ -372,13 +372,19 @@ func (sch *Scheduler) execWave(jobs []*stepJob) {
 			j.finish(nil, NotFoundf("no session %d", j.id))
 			continue
 		}
+		if verr := checkSpanStep(sess, j.req); verr != nil {
+			release()
+			j.finish(nil, verr)
+			continue
+		}
 		j.release = release
 		j.scratch = stepScratchPool.Get().(*stepScratch)
 		items = append(items, core.StepItem{
-			Sess:    sess,
-			Token:   j.req.Token,
-			Queries: j.req.Queries,
-			Out:     j.scratch.grab(mc.Layers, mc.QHeads),
+			Sess:       sess,
+			Token:      j.req.Token,
+			Queries:    j.req.Queries,
+			Out:        j.scratch.grab(mc.Layers, mc.QHeads),
+			AttendOnly: j.req.AttendOnly,
 		})
 		live = append(live, j)
 	}

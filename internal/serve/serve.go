@@ -98,11 +98,14 @@ const DefaultShards = 32
 // ground.
 const DefaultMaxBodyBytes int64 = 64 << 20
 
-// Server is the HTTP transport over a Service. Create with NewServer and
-// mount via Handler(). Safe for concurrent use; see the package comment
-// for the locking discipline.
+// Server is the HTTP transport over a Core — the local *Service on a
+// single-node daemon, the cluster shard router on a routing one. Create
+// with NewServer (local) or NewServerFor (any Core) and mount via
+// Handler(). Safe for concurrent use; see the package comment for the
+// locking discipline.
 type Server struct {
-	svc          *Service
+	core         Core
+	svc          *Service // == core on a single-node server; nil behind a router
 	maxBody      int64
 	encodeErrors atomic.Int64
 }
@@ -110,22 +113,33 @@ type Server struct {
 // NewServer returns an HTTP server over db, with the service core's
 // decode scheduler running.
 func NewServer(db *core.DB, opts ...Option) *Server {
+	svc := NewService(db, opts...)
+	srv := NewServerFor(svc, opts...)
+	srv.svc = svc
+	return srv
+}
+
+// NewServerFor returns an HTTP server over any Core implementation — the
+// mount point the cluster router shares with the local Service, so both
+// backends front the identical wire.
+func NewServerFor(c Core, opts ...Option) *Server {
 	o := options{shards: DefaultShards, maxBody: DefaultMaxBodyBytes}
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return &Server{
-		svc:     NewService(db, opts...),
-		maxBody: o.maxBody,
-	}
+	return &Server{core: c, maxBody: o.maxBody}
 }
 
-// Service returns the transport-agnostic core, for in-process callers that
-// share a Server with HTTP traffic.
+// Service returns the transport-agnostic local service core, for
+// in-process callers that share a Server with HTTP traffic. Nil when the
+// server fronts a non-local Core (a cluster router).
 func (s *Server) Service() *Service { return s.svc }
 
+// Core returns whatever backend the server fronts.
+func (s *Server) Core() Core { return s.core }
+
 // Close closes every open session.
-func (s *Server) Close() error { return s.svc.Close() }
+func (s *Server) Close() error { return s.core.Close() }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler {
@@ -254,7 +268,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, derr)
 		return
 	}
-	resp, err := s.svc.CreateSession(&req)
+	resp, err := s.core.CreateSession(&req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -281,7 +295,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, errf(KindMethodNotAllowed, "DELETE required to close a session"))
 			return
 		}
-		resp, serr := s.svc.CloseSession(id)
+		resp, serr := s.core.CloseSession(id)
 		if serr != nil {
 			s.writeError(w, serr)
 			return
@@ -305,42 +319,42 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	)
 	switch action {
 	case "prefill":
-		resp, serr = s.svc.Prefill(id)
+		resp, serr = s.core.Prefill(id)
 	case "update":
 		var req UpdateRequest
 		if derr := s.decodeBody(w, r, &req, false); derr != nil {
 			s.writeError(w, derr)
 			return
 		}
-		resp, serr = s.svc.Update(id, &req)
+		resp, serr = s.core.Update(id, &req)
 	case "attention":
 		var req AttentionRequest
 		if derr := s.decodeBody(w, r, &req, true); derr != nil {
 			s.writeError(w, derr)
 			return
 		}
-		resp, serr = s.svc.Attention(id, &req)
+		resp, serr = s.core.Attention(id, &req)
 	case "attention_all":
 		var req AttentionAllRequest
 		if derr := s.decodeBody(w, r, &req, true); derr != nil {
 			s.writeError(w, derr)
 			return
 		}
-		resp, serr = s.svc.AttentionAll(id, &req)
+		resp, serr = s.core.AttentionAll(id, &req)
 	case "step":
 		var req StepRequest
 		if derr := s.decodeBody(w, r, &req, true); derr != nil {
 			s.writeError(w, derr)
 			return
 		}
-		resp, serr = s.svc.Step(id, &req)
+		resp, serr = s.core.Step(id, &req)
 	case "steps":
 		var req StepsRequest
 		if derr := s.decodeBody(w, r, &req, true); derr != nil {
 			s.writeError(w, derr)
 			return
 		}
-		resp, serr = s.svc.Steps(id, &req)
+		resp, serr = s.core.Steps(id, &req)
 	case "step_stream":
 		var req StepsRequest
 		if derr := s.decodeBody(w, r, &req, true); derr != nil {
@@ -350,7 +364,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		s.handleStepStream(w, r, id, &req)
 		return
 	case "store":
-		resp, serr = s.svc.Store(id)
+		resp, serr = s.core.Store(id)
 	}
 	if serr != nil {
 		s.writeError(w, serr)
@@ -413,7 +427,7 @@ func (s *Server) handleStepStream(w http.ResponseWriter, r *http.Request, id int
 		return nil
 	}
 
-	err := s.svc.StepStream(r.Context(), id, req, sink)
+	err := s.core.StepStream(r.Context(), id, req, sink)
 	if err != nil && !started {
 		s.writeError(w, err)
 		return
@@ -451,7 +465,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errf(KindMethodNotAllowed, "GET required"))
 		return
 	}
-	resp, err := s.svc.Stats()
+	resp, err := s.core.Stats()
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -465,5 +479,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errf(KindMethodNotAllowed, "GET required"))
 		return
 	}
-	s.writeJSON(w, s.svc.Healthz())
+	s.writeJSON(w, s.core.Healthz())
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -156,8 +157,19 @@ type DocumentWire struct {
 	Tokens []model.Token `json:"tokens"`
 }
 
-// CreateSessionRequest opens a session over a document.
-type CreateSessionRequest = DocumentWire
+// CreateSessionRequest opens a session over a document. SpanLo/SpanHi
+// (both zero for ordinary sessions) open a range-shard session instead:
+// the session carries the whole document but ingests and attends only
+// rows [SpanLo, SpanHi) — SpanHi == 0 with SpanLo > 0 leaves the span
+// open-ended, the tail-owner shard that also ingests generated tokens.
+// A cluster router uses span sessions to split one context across nodes;
+// span sessions skip prefix reuse and cannot be stored.
+type CreateSessionRequest struct {
+	Seed   uint64        `json:"seed"`
+	Tokens []model.Token `json:"tokens"`
+	SpanLo int           `json:"span_lo,omitempty"`
+	SpanHi int           `json:"span_hi,omitempty"`
+}
 
 // CreateSessionResponse reports the session id and how many prompt tokens
 // were reused from stored contexts (the "truncated prompts" of Table 2:
@@ -192,13 +204,23 @@ type AttentionRequest struct {
 	Query []float32 `json:"query"`
 }
 
-// AttentionResponse carries the output and the execution facts.
+// AttentionResponse carries the output and the execution facts. LSE is
+// the result's combined log-sum-exp — the weight a cluster router needs
+// to fold per-node partials into one output. JSON cannot encode −Inf
+// (nothing attended), so the wire pins that case to -math.MaxFloat64;
+// LSESentinel restores it on the reading side.
 type AttentionResponse struct {
 	Output    []float32 `json:"output"`
 	Plan      string    `json:"plan"`
 	Retrieved int       `json:"retrieved"`
 	Attended  int       `json:"attended"`
+	LSE       float64   `json:"lse"`
 }
+
+// LSESentinel is the on-wire stand-in for an LSE of −Inf (an empty
+// partial): any LSE at or below it must be treated as "nothing attended"
+// and skipped by a second-level merge.
+const LSESentinel = -math.MaxFloat64
 
 // AttentionAllRequest asks for every query head of a layer in one round
 // trip; the server fans the heads across its worker pool. Queries is
@@ -221,6 +243,10 @@ type AttentionAllResponse struct {
 type StepRequest struct {
 	Token   model.Token   `json:"token"`
 	Queries [][][]float32 `json:"queries"`
+	// AttendOnly computes the step's attention without ingesting Token —
+	// the request shape a cluster router sends every fixed-span shard of
+	// a sharded context (only the open tail-owner shard ingests).
+	AttendOnly bool `json:"attend_only,omitempty"`
 }
 
 // StepResponse carries every head's attention output, indexed
@@ -324,6 +350,10 @@ type StatsResponse struct {
 	// occupancy, queue depth, and admit/reject counters (absent from a
 	// zero-value Service with no scheduler).
 	Sched *metrics.SchedSnapshot `json:"sched,omitempty"`
+	// Cluster reports the shard router fronting this surface: per-node
+	// health and routed-call counters (absent on a single-node daemon;
+	// filled by the cluster router, never by a bare Service).
+	Cluster *metrics.ClusterSnapshot `json:"cluster,omitempty"`
 	// Per-endpoint request/latency counters of the serving API (absent
 	// until the first request).
 	Endpoints []metrics.EndpointSnapshot `json:"endpoints,omitempty"`
@@ -385,11 +415,16 @@ func (sc *stepScratch) grab(layers, heads int) [][]core.AttentionResult {
 }
 
 func attentionWire(res *core.AttentionResult) AttentionResponse {
+	lse := res.LSE
+	if math.IsInf(lse, -1) {
+		lse = LSESentinel
+	}
 	return AttentionResponse{
 		Output:    res.Output,
 		Plan:      res.Plan.String(),
 		Retrieved: res.Retrieved,
 		Attended:  res.Attended,
+		LSE:       lse,
 	}
 }
 
@@ -399,7 +434,16 @@ func attentionWire(res *core.AttentionResult) AttentionResponse {
 // longest stored-context prefix.
 func (s *Service) CreateSession(req *CreateSessionRequest) (resp *CreateSessionResponse, err error) {
 	defer s.track(metrics.EPCreateSession, &err)()
-	sess, reused := s.db.CreateSession(&model.Document{Seed: req.Seed, Tokens: req.Tokens})
+	doc := &model.Document{Seed: req.Seed, Tokens: req.Tokens}
+	if req.SpanLo != 0 || req.SpanHi != 0 {
+		sess, serr := s.db.CreateSpanSession(doc, req.SpanLo, req.SpanHi)
+		if serr != nil {
+			return nil, BadRequestf("span session: %v", serr)
+		}
+		id := s.reg.Add(sess)
+		return &CreateSessionResponse{SessionID: id, Reused: req.SpanLo}, nil
+	}
+	sess, reused := s.db.CreateSession(doc)
 	id := s.reg.Add(sess)
 	return &CreateSessionResponse{SessionID: id, Reused: reused}, nil
 }
@@ -426,6 +470,9 @@ func (s *Service) Update(id int64, req *UpdateRequest) (resp *UpdateResponse, er
 		return nil, NotFoundf("no session %d", id)
 	}
 	defer release()
+	if sess.FixedSpan() {
+		return nil, Conflictf("session %d is a fixed-span shard; it never ingests tokens", id)
+	}
 	sess.AppendToken(req.Token)
 	return &UpdateResponse{ContextLen: sess.ContextLen(0)}, nil
 }
@@ -520,8 +567,21 @@ func stepRespFromResults(results [][]core.AttentionResult, ctxLen int) *StepResp
 // into a pooled scratch, and returns the wire response (sans done hook).
 func stepWire(sess *core.Session, req *StepRequest, sc *stepScratch, mc model.Config) *StepResponse {
 	results := sc.grab(mc.Layers, mc.QHeads)
-	sess.StepInto(req.Token, req.Queries, results)
+	if req.AttendOnly {
+		sess.StepAttendOnlyInto(req.Queries, results)
+	} else {
+		sess.StepInto(req.Token, req.Queries, results)
+	}
 	return stepRespFromResults(results, sess.ContextLen(0))
+}
+
+// checkSpanStep rejects an ingesting step on a fixed-span shard session:
+// its span is frozen, so only attend-only steps are well-defined.
+func checkSpanStep(sess *core.Session, req *StepRequest) *Error {
+	if sess.FixedSpan() && !req.AttendOnly {
+		return Conflictf("fixed-span shard sessions serve attend-only steps; set attend_only")
+	}
+	return nil
 }
 
 // Step is the v2 coarse decode API: ingest the step's token and return
@@ -549,6 +609,9 @@ func (s *Service) stepDirect(id int64, req *StepRequest, mc model.Config) (*Step
 		return nil, NotFoundf("no session %d", id)
 	}
 	defer release()
+	if verr := checkSpanStep(sess, req); verr != nil {
+		return nil, verr
+	}
 	sc := stepScratchPool.Get().(*stepScratch)
 	resp := stepWire(sess, req, sc, mc)
 	resp.done = func() { stepScratchPool.Put(sc) }
@@ -587,6 +650,11 @@ func (s *Service) Steps(id int64, req *StepsRequest) (resp *StepsResponse, err e
 		return nil, NotFoundf("no session %d", id)
 	}
 	defer release()
+	for i := range req.Steps {
+		if verr := checkSpanStep(sess, &req.Steps[i]); verr != nil {
+			return nil, verr
+		}
+	}
 	scratches := make([]*stepScratch, len(req.Steps))
 	resp = &StepsResponse{Steps: make([]StepResponse, len(req.Steps))}
 	for i := range req.Steps {
@@ -680,6 +748,9 @@ func (s *Service) stepStreamDirect(id int64, req *StepsRequest, sink func(*StepR
 	sc := stepScratchPool.Get().(*stepScratch)
 	defer stepScratchPool.Put(sc)
 	for i := range req.Steps {
+		if verr := checkSpanStep(sess, &req.Steps[i]); verr != nil {
+			return verr
+		}
 		resp := stepWire(sess, &req.Steps[i], sc, mc)
 		if err := sink(resp); err != nil {
 			return err

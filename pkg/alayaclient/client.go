@@ -102,11 +102,13 @@ func IsOverloaded(err error) bool {
 }
 
 // Client talks to one alayad, over HTTP (WithBaseURL) or gRPC
-// (WithGRPCAddr). Safe for concurrent use.
+// (WithGRPCAddr / WithGRPCAddrs). Safe for concurrent use.
 type Client struct {
 	base      string
 	hc        *http.Client
-	gc        *agrpc.ClientConn // non-nil in gRPC mode
+	gc        *agrpc.ClientConn   // non-nil in gRPC mode: the first candidate
+	gcs       []*agrpc.ClientConn // gRPC mode: every candidate, failover order
+	gcur      atomic.Int64        // index of the connection calls currently prefer
 	forceJSON atomic.Bool
 }
 
@@ -194,7 +196,19 @@ func (c *Client) send(ctx context.Context, method, path, contentType string, bod
 		if jerr := json.NewDecoder(resp.Body).Decode(&env); jerr == nil && env.Error != "" {
 			ae.Kind, ae.Message = env.Kind, env.Error
 		} else {
-			ae.Kind, ae.Message = serve.KindInternal, fmt.Sprintf("http status %d", resp.StatusCode)
+			// No envelope (a proxy or load balancer answered, not the
+			// service): still surface the retryable statuses as their
+			// typed kinds so IsUnavailable/IsOverloaded hold on both
+			// transports.
+			switch resp.StatusCode {
+			case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout:
+				ae.Kind = serve.KindUnavailable
+			case http.StatusTooManyRequests:
+				ae.Kind = serve.KindOverloaded
+			default:
+				ae.Kind = serve.KindInternal
+			}
+			ae.Message = fmt.Sprintf("http status %d", resp.StatusCode)
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()

@@ -19,22 +19,75 @@ import (
 // way, which keeps outputs bitwise-equal across transports (held by the
 // conformance suite in internal/serve/conformance).
 
-// WithGRPCAddr routes the client over gRPC to addr ("host:port" or
-// "http://host:port" — alayad's -grpc-addr listener). Mutually exclusive
-// with WithBaseURL; WithJSONWire does not apply (the gRPC wire always
-// carries binary frames).
+// WithGRPCAddr routes the client over gRPC to addr ("host:port",
+// "http://host:port", or "grpcs://host:port" for TLS — alayad's
+// -grpc-addr listener). Mutually exclusive with WithBaseURL; WithJSONWire
+// does not apply (the gRPC wire always carries binary frames).
 func WithGRPCAddr(addr string, opts ...agrpc.DialOption) Option {
-	return func(c *Client) { c.gc = agrpc.Dial(addr, opts...) }
+	return WithGRPCAddrs([]string{addr}, opts...)
 }
 
-// Close releases transport resources. In gRPC mode it drops the
+// WithGRPCAddrs routes the client over gRPC with failover: calls prefer
+// the first address, and a call that dies with an UNAVAILABLE status is
+// retried once against the next address in the ring (which becomes the
+// preferred one). Point the list at replica nodes or redundant routers;
+// state is server-side, so a failed-over session only survives where the
+// cluster placed it.
+func WithGRPCAddrs(addrs []string, opts ...agrpc.DialOption) Option {
+	return func(c *Client) {
+		c.gcs = c.gcs[:0]
+		for _, addr := range addrs {
+			c.gcs = append(c.gcs, agrpc.Dial(addr, opts...))
+		}
+		if len(c.gcs) > 0 {
+			c.gc = c.gcs[0]
+		}
+	}
+}
+
+// Close releases transport resources. In gRPC mode it drops each
 // connection's idle HTTP/2 streams; an HTTP-mode client owns no
 // connections of its own and Close is a no-op.
 func (c *Client) Close() error {
-	if c.gc != nil {
-		return c.gc.Close()
+	var err error
+	for _, gc := range c.gcs {
+		if cerr := gc.Close(); cerr != nil {
+			err = cerr
+		}
 	}
-	return nil
+	return err
+}
+
+// isUnavailableStatus reports a transport- or service-level UNAVAILABLE
+// gRPC status — the only failure failover acts on.
+func isUnavailableStatus(err error) bool {
+	var st *agrpc.StatusError
+	return errors.As(err, &st) && (st.Kind == serve.KindUnavailable || st.Code == agrpc.CodeUnavailable)
+}
+
+// invoke runs one unary RPC on the preferred connection, failing over
+// once to the next address on UNAVAILABLE.
+func (c *Client) invoke(ctx context.Context, method string, in, out pb.Message) error {
+	cur := int(c.gcur.Load()) % len(c.gcs)
+	err := c.gcs[cur].Invoke(ctx, method, in, out)
+	if err == nil || len(c.gcs) == 1 || !isUnavailableStatus(err) {
+		return err
+	}
+	next := (cur + 1) % len(c.gcs)
+	c.gcur.CompareAndSwap(int64(cur), int64(next))
+	return c.gcs[next].Invoke(ctx, method, in, out)
+}
+
+// openStream opens a server-streaming RPC with the same failover rule.
+func (c *Client) openStream(ctx context.Context, method string, in pb.Message) (*agrpc.ClientStream, error) {
+	cur := int(c.gcur.Load()) % len(c.gcs)
+	gs, err := c.gcs[cur].OpenStream(ctx, method, in)
+	if err == nil || len(c.gcs) == 1 || !isUnavailableStatus(err) {
+		return gs, err
+	}
+	next := (cur + 1) % len(c.gcs)
+	c.gcur.CompareAndSwap(int64(cur), int64(next))
+	return c.gcs[next].OpenStream(ctx, method, in)
 }
 
 // IsUnavailable reports whether err is an APIError with kind unavailable
@@ -79,7 +132,7 @@ func pbTokens(tokens []model.Token) []pb.Token {
 
 func (c *Client) grpcHealthz(ctx context.Context) (HealthzResponse, error) {
 	var out pb.HealthzResponse
-	if err := c.gc.Invoke(ctx, pb.MethodHealthz, &pb.HealthzRequest{}, &out); err != nil {
+	if err := c.invoke(ctx, pb.MethodHealthz, &pb.HealthzRequest{}, &out); err != nil {
 		return HealthzResponse{}, grpcErr(err)
 	}
 	return HealthzResponse{Status: out.Status, OpenSessions: int(out.OpenSessions)}, nil
@@ -88,7 +141,7 @@ func (c *Client) grpcHealthz(ctx context.Context) (HealthzResponse, error) {
 func (c *Client) grpcStats(ctx context.Context) (StatsResponse, error) {
 	var out pb.StatsResponse
 	var st StatsResponse
-	if err := c.gc.Invoke(ctx, pb.MethodStats, &pb.StatsRequest{}, &out); err != nil {
+	if err := c.invoke(ctx, pb.MethodStats, &pb.StatsRequest{}, &out); err != nil {
 		return st, grpcErr(err)
 	}
 	if err := json.Unmarshal(out.StatsJSON, &st); err != nil {
@@ -100,7 +153,7 @@ func (c *Client) grpcStats(ctx context.Context) (StatsResponse, error) {
 func (c *Client) grpcCreateSession(ctx context.Context, doc *Document) (*Session, error) {
 	var out pb.CreateSessionResponse
 	in := &pb.CreateSessionRequest{Seed: doc.Seed, Tokens: pbTokens(doc.Tokens)}
-	if err := c.gc.Invoke(ctx, pb.MethodCreateSession, in, &out); err != nil {
+	if err := c.invoke(ctx, pb.MethodCreateSession, in, &out); err != nil {
 		return nil, grpcErr(err)
 	}
 	return &Session{c: c, ID: out.SessionID, Reused: int(out.Reused)}, nil
@@ -108,7 +161,7 @@ func (c *Client) grpcCreateSession(ctx context.Context, doc *Document) (*Session
 
 func (s *Session) grpcPrefill(ctx context.Context) (serve.PrefillResponse, error) {
 	var out pb.PrefillResponse
-	if err := s.c.gc.Invoke(ctx, pb.MethodPrefill, &pb.SessionRequest{SessionID: s.ID}, &out); err != nil {
+	if err := s.c.invoke(ctx, pb.MethodPrefill, &pb.SessionRequest{SessionID: s.ID}, &out); err != nil {
 		return serve.PrefillResponse{}, grpcErr(err)
 	}
 	return serve.PrefillResponse{Prefilled: int(out.Prefilled), ContextLen: int(out.ContextLen)}, nil
@@ -117,7 +170,7 @@ func (s *Session) grpcPrefill(ctx context.Context) (serve.PrefillResponse, error
 func (s *Session) grpcUpdate(ctx context.Context, tok Token) (serve.UpdateResponse, error) {
 	var out pb.UpdateResponse
 	in := &pb.UpdateRequest{SessionID: s.ID, Token: pb.Token{Topic: int64(tok.Topic), Payload: int64(tok.Payload), Salience: tok.Salience}}
-	if err := s.c.gc.Invoke(ctx, pb.MethodUpdate, in, &out); err != nil {
+	if err := s.c.invoke(ctx, pb.MethodUpdate, in, &out); err != nil {
 		return serve.UpdateResponse{}, grpcErr(err)
 	}
 	return serve.UpdateResponse{ContextLen: int(out.ContextLen)}, nil
@@ -131,7 +184,7 @@ func (s *Session) grpcTensor(ctx context.Context, method string, in, out interfa
 		return frameErr(err)
 	}
 	var resp pb.FrameResponse
-	if err := s.c.gc.Invoke(ctx, method, &pb.FrameRequest{SessionID: s.ID, Frame: frame}, &resp); err != nil {
+	if err := s.c.invoke(ctx, method, &pb.FrameRequest{SessionID: s.ID, Frame: frame}, &resp); err != nil {
 		return grpcErr(err)
 	}
 	return serve.UnmarshalFrame(resp.Frame, out)
@@ -139,7 +192,7 @@ func (s *Session) grpcTensor(ctx context.Context, method string, in, out interfa
 
 func (s *Session) grpcStore(ctx context.Context) (serve.StoreResponse, error) {
 	var out pb.StoreResponse
-	if err := s.c.gc.Invoke(ctx, pb.MethodStore, &pb.SessionRequest{SessionID: s.ID}, &out); err != nil {
+	if err := s.c.invoke(ctx, pb.MethodStore, &pb.SessionRequest{SessionID: s.ID}, &out); err != nil {
 		return serve.StoreResponse{}, grpcErr(err)
 	}
 	return serve.StoreResponse{StoredTokens: int(out.StoredTokens)}, nil
@@ -147,7 +200,7 @@ func (s *Session) grpcStore(ctx context.Context) (serve.StoreResponse, error) {
 
 func (s *Session) grpcCloseSession(ctx context.Context) error {
 	var out pb.CloseSessionResponse
-	return grpcErr(s.c.gc.Invoke(ctx, pb.MethodCloseSession, &pb.SessionRequest{SessionID: s.ID}, &out))
+	return grpcErr(s.c.invoke(ctx, pb.MethodCloseSession, &pb.SessionRequest{SessionID: s.ID}, &out))
 }
 
 func (s *Session) grpcStepStream(ctx context.Context, steps []StepRequest) (*StepStream, error) {
@@ -155,7 +208,7 @@ func (s *Session) grpcStepStream(ctx context.Context, steps []StepRequest) (*Ste
 	if err != nil {
 		return nil, frameErr(err)
 	}
-	gs, err := s.c.gc.OpenStream(ctx, pb.MethodStepStream, &pb.FrameRequest{SessionID: s.ID, Frame: frame})
+	gs, err := s.c.openStream(ctx, pb.MethodStepStream, &pb.FrameRequest{SessionID: s.ID, Frame: frame})
 	if err != nil {
 		return nil, grpcErr(err)
 	}

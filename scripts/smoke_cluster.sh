@@ -1,0 +1,85 @@
+#!/bin/sh
+# Cluster smoke: two real alayad nodes plus a shard router on loopback.
+# The router must place a context (range-sharded across both peers at the
+# 64-token threshold), prefill it, report both peers healthy through
+# `alayactl nodes`, and tear the session down cleanly. Run from the repo
+# root, normally via `make smoke-cluster`.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+n1='' n2='' router=''
+cleanup() {
+	kill "$n1" "$n2" "$router" 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$GO" build -o "$workdir/alayad" ./cmd/alayad
+"$GO" build -o "$workdir/alayactl" ./cmd/alayactl
+
+"$workdir/alayad" -addr 127.0.0.1:18265 -grpc-addr 127.0.0.1:18266 \
+	-layers 2 -qheads 4 -kvheads 2 >"$workdir/n1.log" 2>&1 &
+n1=$!
+"$workdir/alayad" -addr 127.0.0.1:18275 -grpc-addr 127.0.0.1:18276 \
+	-layers 2 -qheads 4 -kvheads 2 >"$workdir/n2.log" 2>&1 &
+n2=$!
+"$workdir/alayad" -addr 127.0.0.1:18285 \
+	-peers 127.0.0.1:18266,127.0.0.1:18276 -cluster-shard-tokens 64 \
+	>"$workdir/router.log" 2>&1 &
+router=$!
+
+wait_healthy() {
+	i=0
+	while ! "$workdir/alayactl" health "$1" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "smoke-cluster: $1 never became healthy" >&2
+			cat "$workdir"/*.log >&2
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+wait_healthy http://127.0.0.1:18265
+wait_healthy http://127.0.0.1:18275
+wait_healthy http://127.0.0.1:18285
+
+fail() {
+	echo "smoke-cluster: $1" >&2
+	cat "$workdir"/*.log >&2
+	exit 1
+}
+
+# A 100-token document at shard threshold 64 splits into two range
+# shards, one per peer under rendezvous placement over two nodes.
+tokens=$(awk 'BEGIN {
+	printf "["
+	for (i = 0; i < 100; i++) {
+		if (i) printf ","
+		printf "{\"Topic\":%d,\"Payload\":%d}", i % 16, i
+	}
+	printf "]"
+}')
+created=$(curl -sf -X POST http://127.0.0.1:18285/v1/sessions \
+	-H 'Content-Type: application/json' \
+	-d "{\"seed\":7,\"tokens\":$tokens}") || fail "create via router failed"
+sid=$(printf '%s' "$created" | sed -n 's/.*"session_id":\([0-9][0-9]*\).*/\1/p')
+[ -n "$sid" ] || fail "no session_id in create response: $created"
+
+prefilled=$(curl -sf -X POST "http://127.0.0.1:18285/v1/sessions/$sid/prefill" \
+	-H 'Content-Type: application/json' -d '{}') || fail "prefill via router failed"
+printf '%s' "$prefilled" | grep -q '"prefilled":100' ||
+	fail "router prefill did not cover the document: $prefilled"
+
+nodes=$("$workdir/alayactl" nodes http://127.0.0.1:18285) || fail "alayactl nodes failed"
+echo "$nodes"
+[ "$(echo "$nodes" | grep -c ' healthy ')" -eq 2 ] || fail "expected 2 healthy peers"
+if echo "$nodes" | grep -q 'DOWN'; then fail "a peer is down"; fi
+echo "$nodes" | grep -q '1 range-sharded' || fail "session was not range-sharded"
+
+curl -sf -X DELETE "http://127.0.0.1:18285/v1/sessions/$sid" >/dev/null ||
+	fail "close via router failed"
+
+echo "smoke-cluster: ok (2 nodes, range-sharded placement, clean close)"
